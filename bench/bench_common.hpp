@@ -1,0 +1,44 @@
+// Shared plumbing for the figure/table reproduction harnesses: one
+// Neurospora workload capture (real engine execution) reused across all
+// sweeps via slice()/rebin(), plus the measured machine calibration.
+#pragma once
+
+#include <cstdio>
+
+#include "des/des.hpp"
+#include "models/models.hpp"
+#include "util/stopwatch.hpp"
+
+namespace bench {
+
+struct captured {
+  cwc::model model;
+  des::workload workload;   // finest granularity (quantum == sample period)
+  des::calibration cal;
+};
+
+/// Capture `n` Neurospora trajectories to t_end with sampling period tau
+/// and quantum == tau (rebin later for coarser quanta).
+inline captured capture_neurospora(std::uint64_t n, double t_end, double tau) {
+  captured c{models::make_neurospora_cwc({}), {}, {}};
+  cwcsim::model_ref mr;
+  mr.tree = &c.model;
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = n;
+  cfg.t_end = t_end;
+  cfg.sample_period = tau;
+  cfg.quantum = tau;
+  cfg.kmeans_k = 2;
+
+  util::stopwatch sw;
+  c.cal = des::calibrate(mr, cfg);
+  c.workload = des::capture_workload(mr, cfg);
+  std::fprintf(stderr,
+               "# captured %llu trajectories to t=%g (%.1fs); "
+               "calibration: %.0f ns/step, %.0f ns/stat-point\n",
+               static_cast<unsigned long long>(n), t_end, sw.elapsed_s(),
+               c.cal.sim_ns_per_step, c.cal.stat_ns_per_point);
+  return c;
+}
+
+}  // namespace bench

@@ -1,0 +1,115 @@
+// google-benchmark micro-benchmarks for the simulation engines: SSA step
+// cost across models, CWC tree-matching vs the flat baseline (the "CWC is
+// significantly more complex than a plain Gillespie algorithm" overhead,
+// paper §IV), plus the statistics kernels feeding the DES calibration.
+#include <benchmark/benchmark.h>
+
+#include "models/models.hpp"
+#include "stats/stats.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void bm_cwc_step_neurospora(benchmark::State& state) {
+  const auto m = models::make_neurospora_cwc({});
+  cwc::engine eng(m, 1, 0);
+  for (auto _ : state) {
+    if (!eng.step()) {
+      state.PauseTiming();
+      eng = cwc::engine(m, 1, eng.trajectory_id() + 1);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_cwc_step_neurospora);
+
+void bm_flat_step_neurospora(benchmark::State& state) {
+  const auto net = models::make_neurospora_flat({});
+  cwc::flat_engine eng(net, 1, 0);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    if (!eng.step()) {
+      state.PauseTiming();
+      eng = cwc::flat_engine(net, 1, ++id);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_flat_step_neurospora);
+
+void bm_flat_step_lv(benchmark::State& state) {
+  const auto net = models::make_lotka_volterra({});
+  cwc::flat_engine eng(net, 1, 0);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    if (!eng.step()) {
+      state.PauseTiming();
+      eng = cwc::flat_engine(net, 1, ++id);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_flat_step_lv);
+
+void bm_cwc_step_compartment_demo(benchmark::State& state) {
+  const auto m = models::make_compartment_demo({});
+  cwc::engine eng(m, 1, 0);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    if (!eng.step()) {
+      state.PauseTiming();
+      eng = cwc::engine(m, 1, ++id);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_cwc_step_compartment_demo);
+
+void bm_quantum_run(benchmark::State& state) {
+  const auto m = models::make_neurospora_cwc({});
+  const double quantum = static_cast<double>(state.range(0)) / 10.0;
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    cwc::engine eng(m, 2, ++id);
+    std::vector<cwc::trajectory_sample> out;
+    eng.run_to(quantum, 0.25, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(bm_quantum_run)->Arg(5)->Arg(25)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+void bm_summarize_cut(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng_stream rng(4, 4);
+  stats::trajectory_cut cut;
+  cut.values.assign(n, std::vector<double>(3, 0.0));
+  for (auto& row : cut.values)
+    for (auto& v : row) v = 100.0 + 40.0 * rng.next_normal();
+  for (auto _ : state) {
+    auto s = stats::summarize_cut(cut, 2, 1);
+    benchmark::DoNotOptimize(s.moments[0].mean());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(bm_summarize_cut)->Arg(128)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void bm_kmeans(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng_stream rng(5, 5);
+  std::vector<std::vector<double>> pts(n, std::vector<double>(3, 0.0));
+  for (auto& p : pts)
+    for (auto& v : p) v = rng.next_uniform() * 100.0;
+  for (auto _ : state) {
+    auto r = stats::kmeans(pts, 2, 1);
+    benchmark::DoNotOptimize(r.inertia);
+  }
+}
+BENCHMARK(bm_kmeans)->Arg(128)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

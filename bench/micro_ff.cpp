@@ -1,0 +1,116 @@
+// google-benchmark micro-benchmarks for the ff substrate (paper §III cites
+// FastFlow's low-overhead run-time as the enabler): queue operations,
+// token boxing, channel traffic, farm task overhead, parallel_for overhead.
+#include <benchmark/benchmark.h>
+
+#include "ff/ff.hpp"
+
+namespace {
+
+void bm_spsc_push_pop(benchmark::State& state) {
+  ff::spsc_queue<std::uint64_t> q(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.push(std::uint64_t{v}));
+    auto out = q.pop();
+    benchmark::DoNotOptimize(out);
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_spsc_push_pop);
+
+void bm_uspsc_push_pop(benchmark::State& state) {
+  ff::uspsc_queue<std::uint64_t> q(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    q.push(std::uint64_t{v});
+    auto out = q.pop();
+    benchmark::DoNotOptimize(out);
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_uspsc_push_pop);
+
+void bm_uspsc_burst(benchmark::State& state) {
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  ff::uspsc_queue<std::uint64_t> q(256);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < burst; ++i) q.push(std::uint64_t{i});
+    for (std::size_t i = 0; i < burst; ++i) {
+      auto out = q.pop();
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(bm_uspsc_burst)->Arg(64)->Arg(1024)->Arg(8192);
+
+void bm_token_box_unbox(benchmark::State& state) {
+  for (auto _ : state) {
+    auto t = ff::token::of(std::uint64_t{42});
+    benchmark::DoNotOptimize(t.as<std::uint64_t>());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_token_box_unbox);
+
+void bm_channel_round_trip(benchmark::State& state) {
+  ff::channel c(512);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    c.push(ff::token::of(v++));
+    auto out = c.try_pop();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_channel_round_trip);
+
+/// End-to-end farm throughput at a given task grain (busy-loop nanoseconds
+/// per task) — the farm-overhead-vs-grain curve.
+void bm_farm_task_grain(benchmark::State& state) {
+  const auto grain = static_cast<std::uint64_t>(state.range(0));
+  const int tasks = 2000;
+  for (auto _ : state) {
+    ff::pipeline p;
+    p.add_stage(ff::make_node([i = 0, tasks](auto& self, ff::token) mutable {
+      if (i >= tasks) return ff::outcome::end;
+      self.send_out(ff::token::of(i++));
+      return i < tasks ? ff::outcome::more : ff::outcome::end;
+    }));
+    std::vector<std::unique_ptr<ff::node>> ws;
+    for (int k = 0; k < 2; ++k) {
+      ws.push_back(ff::make_node([grain](auto& self, ff::token t) {
+        std::uint64_t acc = 0;
+        for (std::uint64_t i = 0; i < grain; ++i) acc += i * i;
+        benchmark::DoNotOptimize(acc);
+        self.send_out(std::move(t));
+        return ff::outcome::more;
+      }));
+    }
+    p.add_stage(std::make_unique<ff::farm>(std::move(ws)));
+    p.add_stage(ff::make_node([](auto&, ff::token) { return ff::outcome::more; }));
+    p.run_and_wait();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(bm_farm_task_grain)->Arg(0)->Arg(100)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void bm_parallel_for_overhead(benchmark::State& state) {
+  ff::parallel_for pf(static_cast<unsigned>(state.range(0)));
+  std::vector<double> data(10000, 1.0);
+  for (auto _ : state) {
+    pf.for_each(0, static_cast<std::int64_t>(data.size()), 0,
+                [&](std::int64_t i) {
+                  data[static_cast<std::size_t>(i)] *= 1.000001;
+                });
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(bm_parallel_for_overhead)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// The distributed/cloud deployment (paper §IV-B): a virtual cluster of
+// multicore hosts, each running a farm of simulation engines, streaming
+// serialized results to a master that aligns and analyses on-line. Verifies
+// that results are identical to the shared-memory run and reports the
+// network traffic, then models the same campaign on the paper's EC2 setup
+// with the DES performance models.
+//
+//   ./distributed_cloud [--hosts 4] [--workers-per-host 2] [--trajectories 32]
+#include <cstdio>
+
+#include "des/des.hpp"
+#include "dist/dist.hpp"
+#include "models/models.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  const util::cli cli(argc, argv);
+
+  const auto model = models::make_neurospora_cwc({});
+
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories =
+      static_cast<std::uint64_t>(cli.get_int("trajectories", 32));
+  cfg.t_end = cli.get_double("t-end", 40.0);
+  cfg.sample_period = 0.5;
+  cfg.quantum = 5.0;
+  cfg.stat_engines = 2;
+  cfg.window_size = 8;
+  cfg.window_slide = 8;
+  cfg.kmeans_k = 0;
+
+  dist::dist_config dc;
+  dc.base = cfg;
+  dc.num_hosts = static_cast<unsigned>(cli.get_int("hosts", 4));
+  dc.workers_per_host = static_cast<unsigned>(cli.get_int("workers-per-host", 2));
+  dc.network.latency_s = 120e-6;  // EC2-like
+  dc.network.bytes_per_s = 90e6;
+
+  std::printf("virtual cluster: %u hosts x %u engines, EC2-like network\n",
+              dc.num_hosts, dc.workers_per_host);
+  auto dr = dist::distributed_simulator(model, dc).run();
+  std::printf("  wall %.2f s, %zu messages, %.1f kB serialized\n",
+              dr.result.wall_seconds, dr.messages, dr.bytes / 1e3);
+
+  cfg.sim_workers = dc.num_hosts * dc.workers_per_host;
+  const auto mc = cwcsim::simulate(model, cfg);
+  bool identical = mc.windows.size() == dr.result.windows.size();
+  if (identical) {
+    for (std::size_t i = 0; i < mc.windows.size() && identical; ++i)
+      for (std::size_t c = 0; c < mc.windows[i].cuts.size() && identical; ++c)
+        identical = mc.windows[i].cuts[c].moments[0].mean() ==
+                    dr.result.windows[i].cuts[c].moments[0].mean();
+  }
+  std::printf("  results identical to shared-memory run: %s\n",
+              identical ? "yes" : "NO");
+
+  // ---- modeled performance on the paper's cloud -------------------------
+  cwcsim::model_ref mr;
+  mr.tree = &model;
+  const auto cal = des::calibrate(mr, cfg);
+  const auto w = des::capture_workload(mr, cfg);
+
+  des::cluster_params cp;
+  cp.master = des::platforms::ec2_quadcore_vm();
+  cp.network = des::platforms::ec2_net();
+  cp.sim_workers_per_host = 4;
+  cp.stat_engines = 4;
+
+  std::printf("\nmodeled on Amazon EC2 quad-core VMs (DES):\n");
+  des::farm_params seq;
+  seq.sim_workers = 1;
+  seq.stat_engines = 4;
+  const double t1 =
+      des::simulate_multicore(w, cal, des::platforms::ec2_quadcore_vm(), seq)
+          .makespan_s;
+  for (unsigned hosts : {1u, 2u, 4u, 8u}) {
+    cp.hosts.assign(hosts, des::platforms::ec2_quadcore_vm());
+    const auto o = des::simulate_cluster(w, cal, cp);
+    std::printf("  %u VMs (%2u vcores): modeled %7.2f s  speedup %5.2f\n", hosts,
+                hosts * 4, o.makespan_s, t1 / o.makespan_s);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// GPU offload (paper §IV-C): run the CWC campaign as ff_mapCUDA-style
+// lockstep kernels on the SIMT device model. Results are identical to the
+// CPU pipeline; the device clock shows the effect of thread divergence and
+// of the quantum knob (paper Table I).
+//
+//   ./gpu_offload [--trajectories 256] [--t-end 30]
+#include <cstdio>
+
+#include "models/models.hpp"
+#include "simt/simt.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  const util::cli cli(argc, argv);
+
+  const auto model = models::make_neurospora_cwc({});
+
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories =
+      static_cast<std::uint64_t>(cli.get_int("trajectories", 256));
+  cfg.t_end = cli.get_double("t-end", 30.0);
+  cfg.sample_period = 0.5;
+  cfg.kmeans_k = 0;
+  cfg.window_size = 8;
+  cfg.window_slide = 8;
+
+  const auto dev = simt::devices::tesla_k40();
+  std::printf("device: %s (%u SMX, %u cores)\n\n", dev.name.c_str(), dev.smx,
+              dev.total_cores());
+
+  std::printf("%10s %10s %14s %14s %10s\n", "quantum", "kernels", "device time",
+              "divergence", "mean M(T)");
+  for (const double q : {0.5, 1.0, 2.5, 5.0, 10.0}) {
+    cfg.quantum = q;
+    auto out = simt::gpu_simulator(model, cfg, dev).run();
+    const auto cuts = out.result.all_cuts();
+    std::printf("%10.1f %10llu %12.3f s %13.2fx %10.1f\n", q,
+                static_cast<unsigned long long>(out.kernels),
+                out.device_seconds, out.divergence_factor,
+                cuts.back().moments[0].mean());
+  }
+  std::printf(
+      "\nThe mean column is constant: the quantum is a pure scheduling\n"
+      "knob (trajectories keep deferred reactions across horizons), while\n"
+      "device time varies with divergence and launch overhead.\n");
+  return 0;
+}

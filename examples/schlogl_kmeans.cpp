@@ -1,0 +1,55 @@
+// On-line k-means classification of trajectories (the "k-means" statistical
+// engine of the paper's analysis pipeline, Fig. 2): the Schlogl system is
+// bistable, and clustering each cut cleanly separates the populations that
+// settled in the low vs high attractor.
+//
+//   ./schlogl_kmeans [--trajectories 64] [--t-end 20]
+#include <cstdio>
+
+#include "core/cwcsim.hpp"
+#include "models/models.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  const util::cli cli(argc, argv);
+
+  const auto net = models::make_schlogl({});
+
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories =
+      static_cast<std::uint64_t>(cli.get_int("trajectories", 64));
+  cfg.t_end = cli.get_double("t-end", 20.0);
+  cfg.sample_period = 0.5;
+  cfg.quantum = 2.5;
+  cfg.sim_workers = static_cast<unsigned>(cli.get_int("workers", 4));
+  cfg.stat_engines = 2;
+  cfg.window_size = 8;
+  cfg.window_slide = 8;
+  cfg.kmeans_k = 2;
+
+  const auto result = cwcsim::simulate(net, cfg);
+
+  std::printf("Schlogl bistability: k-means(k=2) per cut over %llu trajectories\n",
+              static_cast<unsigned long long>(cfg.num_trajectories));
+  std::printf("%8s %14s %14s %10s %10s\n", "t", "centroid-low", "centroid-high",
+              "n(low)", "n(high)");
+  for (const auto& cut : result.all_cuts()) {
+    if (cut.sample_index % 4 != 0 || cut.clusters.centroids.size() != 2) continue;
+    double lo = cut.clusters.centroids[0][0];
+    double hi = cut.clusters.centroids[1][0];
+    std::uint64_t nlo = cut.clusters.sizes[0];
+    std::uint64_t nhi = cut.clusters.sizes[1];
+    if (lo > hi) {
+      std::swap(lo, hi);
+      std::swap(nlo, nhi);
+    }
+    std::printf("%8.1f %14.1f %14.1f %10llu %10llu\n", cut.time, lo, hi,
+                static_cast<unsigned long long>(nlo),
+                static_cast<unsigned long long>(nhi));
+  }
+  std::printf(
+      "\nThe population splits between the low (~85) and high (~565)\n"
+      "macroscopic states; ODE modelling would show only one of them\n"
+      "(the paper's argument for stochastic simulation, §I).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Configuration knobs of the CWC simulation-analysis pipeline — the tuning
+// surface the paper credits for performance portability ("a number of knobs
+// supporting optimisation and performance tuning [at] the configuration
+// level", §VI).
+#pragma once
+
+#include <cstdint>
+
+#include "ff/node.hpp"
+
+namespace cwcsim {
+
+struct sim_config {
+  // ---- workload ------------------------------------------------------
+  std::uint64_t num_trajectories = 128;  ///< independent Monte Carlo instances
+  double t_end = 100.0;                  ///< simulated horizon (model time)
+  double sample_period = 0.5;            ///< observable sampling step (tau)
+  /// Simulation-time slice per scheduling round. The paper's Table I varies
+  /// the quantum/samples ratio Q/tau; quantum = ratio * sample_period.
+  double quantum = 5.0;
+  std::uint64_t seed = 0xC0FFEE;
+
+  // ---- simulation pipeline --------------------------------------------
+  unsigned sim_workers = 4;      ///< farm of simulation engines
+  ff::out_policy dispatch = ff::out_policy::on_demand;
+  std::size_t worker_queue = 2;  ///< emitter->worker channel capacity
+
+  // ---- analysis pipeline ----------------------------------------------
+  unsigned stat_engines = 1;     ///< farm of statistical engines (paper: 1 or 4)
+  std::size_t window_size = 16;  ///< cuts per sliding window
+  std::size_t window_slide = 16; ///< cuts to advance between windows
+  std::uint32_t kmeans_k = 2;    ///< clusters per cut (0 disables k-means)
+
+  // ---- instrumentation --------------------------------------------------
+  bool capture_trace = false;  ///< record per-quantum service times for DES
+
+  /// Number of sample points per trajectory (k = 0 .. num_samples-1).
+  std::uint64_t num_samples() const noexcept {
+    return static_cast<std::uint64_t>(t_end / sample_period) + 1;
+  }
+};
+
+}  // namespace cwcsim

@@ -1,0 +1,8 @@
+// Umbrella header: the CWC simulation-analysis pipeline public API.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "core/nodes.hpp"
+#include "core/result.hpp"
+#include "core/simulator.hpp"

@@ -1,0 +1,83 @@
+// Message types flowing through the CWC pipeline (ff::token payloads), and
+// the engine abstraction letting the same pipeline run CWC term models or
+// flat reaction networks.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "cwc/cwc.hpp"
+#include "stats/cut.hpp"
+
+namespace cwcsim {
+
+/// Either stochastic engine, same quantum/sampling contract.
+class any_engine {
+ public:
+  any_engine(const cwc::model& m, std::uint64_t seed, std::uint64_t id)
+      : impl_(std::in_place_type<cwc::engine>, m, seed, id) {}
+  any_engine(const cwc::reaction_network& n, std::uint64_t seed, std::uint64_t id)
+      : impl_(std::in_place_type<cwc::flat_engine>, n, seed, id) {}
+
+  double time() const {
+    return std::visit([](const auto& e) { return e.time(); }, impl_);
+  }
+  std::uint64_t steps() const {
+    return std::visit([](const auto& e) { return e.steps(); }, impl_);
+  }
+  bool stalled() const {
+    return std::visit([](const auto& e) { return e.stalled(); }, impl_);
+  }
+  void run_to(double t_end, double sample_period,
+              std::vector<cwc::trajectory_sample>& out) {
+    std::visit([&](auto& e) { e.run_to(t_end, sample_period, out); }, impl_);
+  }
+
+ private:
+  std::variant<cwc::engine, cwc::flat_engine> impl_;
+};
+
+/// A simulation task: one trajectory advanced quantum by quantum. Tasks are
+/// "wrapped in a C++ object ... passed to the farm of simulation engines"
+/// and rescheduled "back along the feedback channel" until t_end (paper
+/// §IV-A1).
+struct sim_task {
+  std::uint64_t trajectory_id = 0;
+  any_engine engine;
+  std::uint64_t quantum_index = 0;  ///< scheduling rounds completed
+
+  sim_task(std::uint64_t id, any_engine e)
+      : trajectory_id(id), engine(std::move(e)) {}
+};
+
+/// Worker -> scheduler notification that a trajectory reached t_end.
+struct task_done {
+  std::uint64_t trajectory_id = 0;
+  std::uint64_t quanta = 0;
+  std::uint64_t steps = 0;
+};
+
+/// One quantum's worth of samples for one trajectory, streamed to the
+/// alignment stage.
+struct sample_batch {
+  std::uint64_t trajectory_id = 0;
+  std::vector<cwc::trajectory_sample> samples;
+};
+
+/// Per-quantum service-time record captured for the DES platform models.
+struct quantum_record {
+  std::uint64_t trajectory_id = 0;
+  std::uint64_t quantum_index = 0;
+  std::uint64_t ssa_steps = 0;   ///< deterministic work measure
+  std::uint64_t wall_ns = 0;     ///< measured on this machine
+  std::uint32_t samples = 0;     ///< samples emitted in this quantum
+};
+
+/// Result of a statistical engine over one window (per-cut summaries).
+struct window_summary {
+  std::uint64_t first_sample = 0;
+  std::vector<stats::cut_summary> cuts;
+};
+
+}  // namespace cwcsim

@@ -1,0 +1,244 @@
+#include "core/nodes.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace cwcsim {
+
+// ---------------------------------------------------------------- generator
+
+task_generator::task_generator(model_ref model, const sim_config& cfg)
+    : model_(model), cfg_(&cfg) {
+  set_name("task-generator");
+  util::expects(model.tree != nullptr || model.flat != nullptr,
+                "task_generator requires a model");
+  ids_.reserve(cfg.num_trajectories);
+  for (std::uint64_t i = 0; i < cfg.num_trajectories; ++i) ids_.push_back(i);
+}
+
+task_generator::task_generator(model_ref model, const sim_config& cfg,
+                               std::vector<std::uint64_t> ids)
+    : model_(model), cfg_(&cfg), ids_(std::move(ids)) {
+  set_name("task-generator");
+  util::expects(model.tree != nullptr || model.flat != nullptr,
+                "task_generator requires a model");
+  util::expects(!ids_.empty(), "task_generator requires at least one id");
+}
+
+ff::outcome task_generator::svc(ff::token /*tick*/) {
+  if (next_ >= ids_.size()) return ff::outcome::end;
+  const std::uint64_t id = ids_[next_];
+  auto engine = model_.make_engine(cfg_->seed, id);
+  send_out(ff::token::make<sim_task>(id, std::move(engine)));
+  ++next_;
+  return next_ < ids_.size() ? ff::outcome::more : ff::outcome::end;
+}
+
+// ---------------------------------------------------------------- scheduler
+
+task_scheduler::task_scheduler(const sim_config& /*cfg*/) {
+  set_name("task-scheduler");
+  set_continue_after_eos(true);
+}
+
+ff::outcome task_scheduler::maybe_done() const noexcept {
+  return (upstream_done_ && outstanding_ == 0) ? ff::outcome::end
+                                               : ff::outcome::more;
+}
+
+ff::outcome task_scheduler::svc(ff::token t) {
+  if (t.holds<sim_task>()) {
+    if (t.as<sim_task>().quantum_index == 0) ++outstanding_;  // fresh task
+    ++dispatched_;
+    send_out(std::move(t));
+    return ff::outcome::more;
+  }
+  if (t.holds<task_done>()) {
+    util::expects(outstanding_ > 0, "completion for unknown task");
+    --outstanding_;
+    completions_.push_back(t.as<task_done>());
+    return maybe_done();
+  }
+  util::ensures(false, "task_scheduler received unexpected token type");
+  return ff::outcome::more;
+}
+
+ff::outcome task_scheduler::on_upstream_eos() {
+  upstream_done_ = true;
+  return maybe_done();
+}
+
+// ------------------------------------------------------------------- worker
+
+sim_engine_node::sim_engine_node(const sim_config& cfg, unsigned worker_id)
+    : cfg_(&cfg), worker_id_(worker_id) {
+  set_name("sim-engine-" + std::to_string(worker_id));
+}
+
+ff::outcome sim_engine_node::svc(ff::token t) {
+  auto task = t.take<sim_task>();
+  util::stopwatch sw;
+  const std::uint64_t steps_before = task.engine.steps();
+
+  sample_batch batch;
+  batch.trajectory_id = task.trajectory_id;
+  const double horizon = std::min(task.engine.time() + cfg_->quantum, cfg_->t_end);
+  task.engine.run_to(horizon, cfg_->sample_period, batch.samples);
+  if (task.engine.stalled() && task.engine.time() < cfg_->t_end) {
+    // No reaction can ever fire again: emit the frozen tail immediately
+    // instead of rescheduling a dead trajectory.
+    task.engine.run_to(cfg_->t_end, cfg_->sample_period, batch.samples);
+  }
+
+  ++quanta_;
+  if (cfg_->capture_trace) {
+    quantum_record rec;
+    rec.trajectory_id = task.trajectory_id;
+    rec.quantum_index = task.quantum_index;
+    rec.ssa_steps = task.engine.steps() - steps_before;
+    rec.wall_ns = sw.elapsed_ns();
+    rec.samples = static_cast<std::uint32_t>(batch.samples.size());
+    trace_.push_back(rec);
+  }
+
+  if (!batch.samples.empty()) send_out(ff::token::of(std::move(batch)));
+
+  if (task.engine.time() >= cfg_->t_end) {
+    task_done done;
+    done.trajectory_id = task.trajectory_id;
+    done.quanta = task.quantum_index + 1;
+    done.steps = task.engine.steps();
+    send_feedback(ff::token::of(done));
+  } else {
+    ++task.quantum_index;
+    send_feedback(ff::token::make<sim_task>(std::move(task)));
+  }
+  return ff::outcome::more;
+}
+
+// ------------------------------------------------------------------ aligner
+
+trajectory_aligner::trajectory_aligner(const sim_config& cfg,
+                                       std::size_t num_observables)
+    : cfg_(&cfg), num_observables_(num_observables) {
+  set_name("trajectory-aligner");
+}
+
+void trajectory_aligner::ingest(std::uint64_t trajectory,
+                                const cwc::trajectory_sample& s) {
+  const auto k = static_cast<std::uint64_t>(s.time / cfg_->sample_period + 0.5);
+  auto [it, fresh] = pending_.try_emplace(k);
+  if (fresh) {
+    it->second.cut.sample_index = k;
+    it->second.cut.time = s.time;
+    it->second.cut.values.assign(cfg_->num_trajectories,
+                                 std::vector<double>(num_observables_, 0.0));
+  }
+  util::expects(trajectory < cfg_->num_trajectories, "trajectory id out of range");
+  it->second.cut.values[trajectory] = s.values;
+  ++it->second.filled;
+}
+
+void trajectory_aligner::emit_ready() {
+  while (true) {
+    auto it = pending_.find(next_emit_);
+    if (it == pending_.end() || it->second.filled < cfg_->num_trajectories) return;
+    send_out(ff::token::of(std::move(it->second.cut)));
+    pending_.erase(it);
+    ++next_emit_;
+    ++emitted_;
+  }
+}
+
+ff::outcome trajectory_aligner::svc(ff::token t) {
+  const auto batch = t.take<sample_batch>();
+  for (const auto& s : batch.samples) ingest(batch.trajectory_id, s);
+  emit_ready();
+  return ff::outcome::more;
+}
+
+void trajectory_aligner::on_eos() {
+  emit_ready();
+  // A complete run leaves nothing behind; partially filled cuts indicate a
+  // trajectory loss upstream and must not silently disappear.
+  util::ensures(pending_.empty(), "alignment buffer not drained at EOS");
+}
+
+// ---------------------------------------------------------------- windowing
+
+window_generator::window_generator(const sim_config& cfg)
+    : builder_(cfg.window_size, cfg.window_slide) {
+  set_name("window-generator");
+}
+
+ff::outcome window_generator::svc(ff::token t) {
+  for (auto& w : builder_.push(t.take<stats::trajectory_cut>()))
+    send_out(ff::token::of(std::move(w)));
+  return ff::outcome::more;
+}
+
+void window_generator::on_eos() {
+  for (auto& w : builder_.flush()) send_out(ff::token::of(std::move(w)));
+}
+
+// -------------------------------------------------------------- stat engine
+
+stat_engine_node::stat_engine_node(const sim_config& cfg) : cfg_(&cfg) {
+  set_name("stat-engine");
+}
+
+ff::outcome stat_engine_node::svc(ff::token t) {
+  const auto w = t.take<stats::trajectory_window>();
+  window_summary out;
+  out.first_sample = w.first_sample;
+  out.cuts.reserve(w.cuts.size());
+  for (const auto& cut : w.cuts)
+    out.cuts.push_back(stats::summarize_cut(cut, cfg_->kmeans_k, cfg_->seed));
+  ++processed_;
+  send_out(ff::token::of(std::move(out)));
+  return ff::outcome::more;
+}
+
+// ------------------------------------------------------------------ reorder
+
+reorder_gather::reorder_gather(std::uint64_t slide) : slide_(slide) {
+  set_name("reorder-gather");
+  util::expects(slide > 0, "reorder_gather: slide must be positive");
+}
+
+ff::outcome reorder_gather::svc(ff::token t) {
+  auto w = t.take<window_summary>();
+  held_.emplace(w.first_sample, std::move(w));
+  while (!held_.empty() && held_.begin()->first == next_) {
+    auto node = held_.extract(held_.begin());
+    send_out(ff::token::of(std::move(node.mapped())));
+    next_ += slide_;
+  }
+  return ff::outcome::more;
+}
+
+void reorder_gather::on_eos() {
+  // A trailing partial window may sit at an off-grid key; drain in order.
+  for (auto& [k, w] : held_) send_out(ff::token::of(std::move(w)));
+  held_.clear();
+}
+
+// --------------------------------------------------------------------- sink
+
+result_sink::result_sink(simulation_result* out) : out_(out) {
+  set_name("result-sink");
+  util::expects(out != nullptr, "result_sink requires a destination");
+}
+
+ff::outcome result_sink::svc(ff::token t) {
+  if (t.holds<window_summary>()) {
+    out_->windows.push_back(t.take<window_summary>());
+    return ff::outcome::more;
+  }
+  util::ensures(false, "result_sink received unexpected token type");
+  return ff::outcome::more;
+}
+
+}  // namespace cwcsim

@@ -1,0 +1,84 @@
+#include "core/simulator.hpp"
+
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace cwcsim {
+
+multicore_simulator::multicore_simulator(const cwc::model& m, sim_config cfg)
+    : cfg_(cfg) {
+  model_.tree = &m;
+  util::expects(cfg_.num_trajectories > 0, "need at least one trajectory");
+  util::expects(cfg_.sim_workers > 0, "need at least one simulation engine");
+  util::expects(cfg_.stat_engines > 0, "need at least one statistical engine");
+}
+
+multicore_simulator::multicore_simulator(const cwc::reaction_network& n,
+                                         sim_config cfg)
+    : cfg_(cfg) {
+  model_.flat = &n;
+  util::expects(cfg_.num_trajectories > 0, "need at least one trajectory");
+  util::expects(cfg_.sim_workers > 0, "need at least one simulation engine");
+  util::expects(cfg_.stat_engines > 0, "need at least one statistical engine");
+}
+
+simulation_result multicore_simulator::run() {
+  ff::network net;
+  simulation_result result;
+  result.sim_workers = cfg_.sim_workers;
+  result.stat_engines = cfg_.stat_engines;
+
+  // ---- simulation pipeline -------------------------------------------
+  ff::pipeline pipe;
+  pipe.add_stage(std::make_unique<task_generator>(model_, cfg_));
+
+  std::vector<std::unique_ptr<ff::node>> sim_workers;
+  std::vector<sim_engine_node*> sim_worker_ptrs;
+  for (unsigned w = 0; w < cfg_.sim_workers; ++w) {
+    auto worker = std::make_unique<sim_engine_node>(cfg_, w);
+    sim_worker_ptrs.push_back(worker.get());
+    sim_workers.push_back(std::move(worker));
+  }
+  auto sim_farm = std::make_unique<ff::farm>(std::move(sim_workers));
+  auto scheduler = std::make_unique<task_scheduler>(cfg_);
+  task_scheduler* scheduler_ptr = scheduler.get();
+  sim_farm->set_emitter(std::move(scheduler))
+      .set_dispatch(cfg_.dispatch)
+      .set_worker_channel_capacity(cfg_.worker_queue)
+      .enable_feedback(ff::feedback_from::workers);
+  pipe.add_stage(std::move(sim_farm));
+
+  pipe.add_stage(std::make_unique<trajectory_aligner>(
+      cfg_, model_.num_observables()));
+
+  // ---- analysis pipeline ----------------------------------------------
+  pipe.add_stage(std::make_unique<window_generator>(cfg_));
+
+  std::vector<std::unique_ptr<ff::node>> stat_workers;
+  for (unsigned w = 0; w < cfg_.stat_engines; ++w)
+    stat_workers.push_back(std::make_unique<stat_engine_node>(cfg_));
+  auto stat_farm = std::make_unique<ff::farm>(std::move(stat_workers));
+  stat_farm->set_dispatch(ff::out_policy::on_demand)
+      .set_collector(std::make_unique<reorder_gather>(cfg_.window_slide));
+  pipe.add_stage(std::move(stat_farm));
+
+  pipe.add_stage(std::make_unique<result_sink>(&result));
+
+  // ---- run --------------------------------------------------------------
+  pipe.materialize(net);
+  util::stopwatch sw;
+  net.run_and_wait();
+  result.wall_seconds = sw.elapsed_s();
+
+  // ---- gather instrumentation -------------------------------------------
+  result.completions = scheduler_ptr->completions();
+  if (cfg_.capture_trace) {
+    for (const sim_engine_node* w : sim_worker_ptrs) {
+      result.trace.insert(result.trace.end(), w->trace().begin(),
+                          w->trace().end());
+    }
+  }
+  return result;
+}
+
+}  // namespace cwcsim

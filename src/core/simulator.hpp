@@ -1,0 +1,44 @@
+// Public entry point: the shared-memory CWC simulator with on-line parallel
+// analysis (paper §IV-A, Fig. 2). Wires
+//
+//   generation -> farm(simulation engines, feedback) -> alignment ->
+//   sliding windows -> farm(statistical engines) -> gather -> sink
+//
+// into one ff network and runs it to completion.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/nodes.hpp"
+#include "core/result.hpp"
+
+namespace cwcsim {
+
+class multicore_simulator {
+ public:
+  /// Simulate a CWC term model.
+  multicore_simulator(const cwc::model& m, sim_config cfg);
+
+  /// Simulate a flat reaction network with the same pipeline.
+  multicore_simulator(const cwc::reaction_network& n, sim_config cfg);
+
+  const sim_config& config() const noexcept { return cfg_; }
+
+  /// Build the Fig. 2 network, execute it, and gather the results.
+  /// Rethrows the first exception raised in any stage.
+  simulation_result run();
+
+ private:
+  model_ref model_;
+  sim_config cfg_;
+};
+
+/// Convenience one-shot helper.
+inline simulation_result simulate(const cwc::model& m, const sim_config& cfg) {
+  return multicore_simulator(m, cfg).run();
+}
+inline simulation_result simulate(const cwc::reaction_network& n,
+                                  const sim_config& cfg) {
+  return multicore_simulator(n, cfg).run();
+}
+
+}  // namespace cwcsim

@@ -1,0 +1,118 @@
+#include "cwc/gillespie.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace cwc {
+
+engine::engine(const model& m, std::uint64_t seed, std::uint64_t trajectory_id)
+    : model_(&m),
+      state_(m.make_initial_state()),
+      trajectory_id_(trajectory_id),
+      rng_(seed, trajectory_id) {}
+
+double engine::collect() {
+  matches_.clear();
+  double cum = 0.0;
+  // Pre-order walk; enumeration order is deterministic, which together with
+  // the per-trajectory RNG stream makes the whole sample path deterministic.
+  state_->visit([&](compartment& host) {
+    for (const rule& r : model_->rules()) {
+      if (!r.applies_in(host.type())) continue;
+      for (const rule::match& m : r.enumerate(host)) {
+        cum += m.propensity;
+        matches_.push_back(candidate{&host, &r, m, cum});
+      }
+    }
+  });
+  return cum;
+}
+
+void engine::fire(double target) {
+  // Linear scan over the cumulative sums; match lists are short (tens).
+  for (const candidate& c : matches_) {
+    if (c.cumulative >= target) {
+      c.r->apply(*c.host, c.m);
+      ++steps_;
+      return;
+    }
+  }
+  // Floating-point tail: fall back to the last candidate.
+  util::ensures(!matches_.empty(), "SSA selection on empty match set");
+  const candidate& last = matches_.back();
+  last.r->apply(*last.host, last.m);
+  ++steps_;
+}
+
+bool engine::step() {
+  if (stalled_) return false;
+  const double total = collect();
+  if (total <= 0.0) {
+    stalled_ = true;
+    return false;
+  }
+  // NB: not value_or() — that would consume an exponential even when a
+  // deferred reaction exists (value_or evaluates its argument eagerly).
+  const double t_next = pending_t_next_.has_value()
+                            ? *pending_t_next_
+                            : time_ + rng_.next_exponential(total);
+  pending_t_next_.reset();
+  fire(rng_.next_uniform_pos() * total);
+  time_ = t_next;
+  return true;
+}
+
+void engine::record_sample(std::vector<trajectory_sample>& out) {
+  trajectory_sample s;
+  s.time = next_sample_;
+  s.values = model_->observe_all(*state_);
+  out.push_back(std::move(s));
+}
+
+void engine::run_to(double t_end, double sample_period,
+                    std::vector<trajectory_sample>& out) {
+  util::expects(sample_period > 0.0, "sample period must be positive");
+  util::expects(t_end >= time_, "run_to target precedes current time");
+
+  while (true) {
+    if (stalled_) break;
+    const double total = collect();
+    if (total <= 0.0) {
+      stalled_ = true;
+      break;
+    }
+    // A reaction drawn in a previous quantum that lands beyond that
+    // quantum's horizon is *kept* (the state cannot change across the
+    // boundary), so the sample path is bit-for-bit independent of the
+    // quantum size — quantum is a pure scheduling knob (paper Table I).
+    const double t_next = pending_t_next_.has_value()
+                              ? *pending_t_next_
+                              : time_ + rng_.next_exponential(total);
+
+    // Emit samples for every sample point the jump crosses (the SSA state
+    // is right-continuous piecewise constant).
+    while (next_sample_ <= t_end && next_sample_ <= t_next) {
+      record_sample(out);
+      next_sample_ += sample_period;
+    }
+    if (t_next > t_end) {
+      pending_t_next_ = t_next;
+      time_ = t_end;
+      return;
+    }
+
+    pending_t_next_.reset();
+    fire(rng_.next_uniform_pos() * total);
+    time_ = t_next;
+  }
+
+  // Stalled: the state is frozen; emit the remaining samples up to t_end.
+  while (next_sample_ <= t_end) {
+    record_sample(out);
+    next_sample_ += sample_period;
+  }
+  time_ = t_end;
+}
+
+}  // namespace cwc

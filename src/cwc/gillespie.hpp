@@ -1,0 +1,83 @@
+// Gillespie's Stochastic Simulation Algorithm (direct method, 1977) over
+// CWC terms. Each SSA step enumerates every (compartment, rule, child)
+// match in the term tree, draws the exponential waiting time from the total
+// propensity, and applies the selected rewrite in place.
+//
+// Reproducibility: every engine owns an rng_stream keyed by
+// (seed, trajectory id), so a trajectory's sample path is a pure function
+// of (model, seed, id) — independent of scheduling, platform, or worker
+// count. The multicore/distributed/SIMT equivalence tests rely on this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cwc/model.hpp"
+#include "util/rng.hpp"
+
+namespace cwc {
+
+/// One sample point of a trajectory: observable values at a sample time.
+struct trajectory_sample {
+  double time = 0.0;
+  std::vector<double> values;
+};
+
+class engine {
+ public:
+  engine(const model& m, std::uint64_t seed, std::uint64_t trajectory_id);
+
+  double time() const noexcept { return time_; }
+  const term& state() const noexcept { return *state_; }
+  std::uint64_t trajectory_id() const noexcept { return trajectory_id_; }
+
+  /// Number of SSA steps executed so far (the deterministic work measure
+  /// used for DES trace capture).
+  std::uint64_t steps() const noexcept { return steps_; }
+
+  /// True once the term admits no further reaction (total propensity 0).
+  bool stalled() const noexcept { return stalled_; }
+
+  /// Execute one SSA step. Returns false (and sets stalled) when no
+  /// reaction can fire; simulation time is then unchanged.
+  bool step();
+
+  /// Advance simulation time to exactly `t_end`, appending one sample per
+  /// crossed sample point (t = k * sample_period, including t=0 on the
+  /// first call) to `out`. The SSA state is piecewise constant, so each
+  /// sample records the state immediately before the crossing reaction.
+  void run_to(double t_end, double sample_period,
+              std::vector<trajectory_sample>& out);
+
+ private:
+  struct candidate {
+    compartment* host = nullptr;
+    const rule* r = nullptr;
+    rule::match m;
+    double cumulative = 0.0;
+  };
+
+  /// Enumerate all matches into matches_; returns the total propensity.
+  double collect();
+
+  /// Apply the match selected by `target` in (0, total].
+  void fire(double target);
+
+  void record_sample(std::vector<trajectory_sample>& out);
+
+  const model* model_;
+  std::unique_ptr<term> state_;
+  double time_ = 0.0;
+  double next_sample_ = 0.0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t trajectory_id_;
+  bool stalled_ = false;
+  util::rng_stream rng_;
+  std::vector<candidate> matches_;  // reused across steps
+  /// Absolute time of a reaction drawn but deferred past a quantum horizon.
+  std::optional<double> pending_t_next_;
+};
+
+}  // namespace cwc

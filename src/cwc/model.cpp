@@ -1,0 +1,62 @@
+#include "cwc/model.hpp"
+
+#include "util/check.hpp"
+
+namespace cwc {
+
+model::model() {
+  // The implicit outermost compartment type is always id 0.
+  comp_types_.intern("top");
+}
+
+species_id model::declare_species(std::string_view name) {
+  return species_.intern(name);
+}
+
+comp_type_id model::declare_compartment_type(std::string_view name) {
+  return comp_types_.intern(name);
+}
+
+void model::set_initial(std::unique_ptr<term> t) {
+  util::expects(t != nullptr, "initial term must not be null");
+  util::expects(t->type() == top_compartment, "initial term root must be 'top'");
+  initial_ = std::move(t);
+}
+
+const term& model::initial() const {
+  util::expects(initial_ != nullptr, "model has no initial term");
+  return *initial_;
+}
+
+rule& model::add_rule(rule r) {
+  rules_.push_back(std::move(r));
+  return rules_.back();
+}
+
+std::size_t model::add_observable(std::string name, species_id sp,
+                                  std::optional<comp_type_id> scope) {
+  observables_.push_back(observable{std::move(name), sp, scope});
+  return observables_.size() - 1;
+}
+
+double model::observe(const term& state, std::size_t index) const {
+  const observable& o = observables_.at(index);
+  if (o.scope.has_value())
+    return static_cast<double>(state.count_in_type(o.sp, *o.scope));
+  return static_cast<double>(state.total_count(o.sp));
+}
+
+std::vector<double> model::observe_all(const term& state) const {
+  std::vector<double> out;
+  out.reserve(observables_.size());
+  for (std::size_t i = 0; i < observables_.size(); ++i)
+    out.push_back(observe(state, i));
+  return out;
+}
+
+std::unique_ptr<term> model::make_initial_state() const {
+  util::expects(initial_ != nullptr, "model has no initial term");
+  return initial_->clone();
+}
+
+}  // namespace cwc

@@ -1,0 +1,66 @@
+// A CWC model: alphabets, initial term, rewrite rules, and the observables
+// sampled along each simulated trajectory.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cwc/rule.hpp"
+#include "cwc/term.hpp"
+
+namespace cwc {
+
+/// A quantity recorded at every sample point: the copy number of a species,
+/// either across the whole term or restricted to one compartment type.
+struct observable {
+  std::string name;
+  species_id sp = 0;
+  std::optional<comp_type_id> scope;  ///< nullopt = whole term
+};
+
+class model {
+ public:
+  model();
+
+  model(model&&) = default;
+  model& operator=(model&&) = default;
+
+  // ---- alphabets ----------------------------------------------------
+  species_id declare_species(std::string_view name);
+  comp_type_id declare_compartment_type(std::string_view name);
+
+  const symbol_table& species() const noexcept { return species_; }
+  const symbol_table& compartment_types() const noexcept { return comp_types_; }
+
+  // ---- structure ----------------------------------------------------
+  /// Install the initial term (root must have type `top`).
+  void set_initial(std::unique_ptr<term> t);
+  const term& initial() const;
+
+  /// Add a rule; returns a reference for further builder calls.
+  rule& add_rule(rule r);
+  const std::vector<rule>& rules() const noexcept { return rules_; }
+
+  /// Register an observable; returns its index.
+  std::size_t add_observable(std::string name, species_id sp,
+                             std::optional<comp_type_id> scope = std::nullopt);
+  const std::vector<observable>& observables() const noexcept { return observables_; }
+
+  // ---- evaluation ---------------------------------------------------
+  double observe(const term& state, std::size_t index) const;
+  std::vector<double> observe_all(const term& state) const;
+
+  /// A fresh deep copy of the initial term (one per trajectory).
+  std::unique_ptr<term> make_initial_state() const;
+
+ private:
+  symbol_table species_;
+  symbol_table comp_types_;
+  std::vector<rule> rules_;
+  std::unique_ptr<term> initial_;
+  std::vector<observable> observables_;
+};
+
+}  // namespace cwc

@@ -1,0 +1,106 @@
+#include "cwc/model_file.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace cwc {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// First whitespace-delimited word; advances `rest` past it.
+std::string_view take_word(std::string_view& rest) {
+  rest = trim(rest);
+  std::size_t i = 0;
+  while (i < rest.size() && !std::isspace(static_cast<unsigned char>(rest[i])))
+    ++i;
+  const std::string_view word = rest.substr(0, i);
+  rest.remove_prefix(i);
+  rest = trim(rest);
+  return word;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw parse_error("line " + std::to_string(line_no) + ": " + what, 0);
+}
+
+}  // namespace
+
+model load_model(std::string_view text) {
+  model m;
+  bool saw_init = false;
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t eol = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, eol == std::string_view::npos ? text.size() - start : eol - start);
+    start = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    std::string_view rest = line;
+    const std::string_view keyword = take_word(rest);
+
+    try {
+      if (keyword == "species") {
+        while (!rest.empty()) m.declare_species(take_word(rest));
+      } else if (keyword == "compartments") {
+        while (!rest.empty()) m.declare_compartment_type(take_word(rest));
+      } else if (keyword == "init") {
+        if (saw_init) fail(line_no, "duplicate init");
+        m.set_initial(parse_term(m, rest));
+        saw_init = true;
+      } else if (keyword == "rule") {
+        const std::string_view name = take_word(rest);
+        if (name.empty()) fail(line_no, "rule needs a name");
+        m.add_rule(parse_rule(m, std::string(name), rest));
+      } else if (keyword == "observable") {
+        const std::string_view sp_name = take_word(rest);
+        if (sp_name.empty()) fail(line_no, "observable needs a species");
+        const species_id sp = m.declare_species(sp_name);
+        if (rest.empty()) {
+          m.add_observable(std::string(sp_name), sp);
+        } else {
+          const std::string_view at = take_word(rest);
+          if (at != "@") fail(line_no, "expected '@ compartment-type'");
+          const std::string_view scope_name = take_word(rest);
+          if (scope_name.empty()) fail(line_no, "missing compartment type");
+          const comp_type_id scope = m.declare_compartment_type(scope_name);
+          m.add_observable(std::string(sp_name) + "@" + std::string(scope_name),
+                           sp, scope);
+        }
+      } else {
+        fail(line_no, "unknown keyword '" + std::string(keyword) + "'");
+      }
+    } catch (const parse_error& e) {
+      if (std::string(e.what()).rfind("line ", 0) == 0) throw;
+      fail(line_no, e.what());
+    }
+  }
+
+  if (!saw_init) throw parse_error("model document lacks an init line", 0);
+  return m;
+}
+
+model load_model(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return load_model(buf.str());
+}
+
+}  // namespace cwc

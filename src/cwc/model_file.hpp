@@ -1,0 +1,27 @@
+// Whole-model text format: species, initial term, rules, observables in one
+// document, so models ship as data files instead of C++.
+//
+//   # Neurospora-like toy (comments start with '#')
+//   init (cell: | 10*M 10*FC (nucleus: | 10*FN))
+//   rule translate   cell: M -> M + FC @ 0.5
+//   rule import      cell: FC + (nucleus: | ) -> (nucleus: | FN) @ 0.5
+//   rule export      cell: (nucleus: | FN) -> FC + (nucleus: | ) @ 0.6
+//   rule transcribe  cell: (nucleus: | ) -> (nucleus: | ) + M @ hill_rep(160, 100, 4, FN@child)
+//   observable M
+//   observable FN @ nucleus
+#pragma once
+
+#include <istream>
+#include <string_view>
+
+#include "cwc/model.hpp"
+#include "cwc/parser.hpp"
+
+namespace cwc {
+
+/// Parse a whole model document. Throws parse_error with a line-prefixed
+/// message on malformed input. Exactly one `init` line is required.
+model load_model(std::string_view text);
+model load_model(std::istream& in);
+
+}  // namespace cwc

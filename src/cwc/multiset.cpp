@@ -1,0 +1,89 @@
+#include "cwc/multiset.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cwc {
+
+double choose(std::uint64_t n, std::uint64_t k) noexcept {
+  if (k > n) return 0.0;
+  double r = 1.0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    r *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return r;
+}
+
+std::uint64_t multiset::count(species_id s) const {
+  return s < counts_.size() ? counts_[s] : 0;
+}
+
+std::uint64_t multiset::total() const noexcept {
+  std::uint64_t t = 0;
+  for (auto c : counts_) t += c;
+  return t;
+}
+
+std::size_t multiset::distinct() const noexcept {
+  std::size_t d = 0;
+  for (auto c : counts_)
+    if (c != 0) ++d;
+  return d;
+}
+
+void multiset::grow_to(std::size_t n) {
+  if (counts_.size() < n) counts_.resize(n, 0);
+}
+
+void multiset::add(species_id s, std::uint64_t n) {
+  grow_to(s + 1);
+  counts_[s] += n;
+}
+
+void multiset::remove(species_id s, std::uint64_t n) {
+  util::expects(count(s) >= n, "multiset remove: species underflow");
+  counts_[s] -= n;
+}
+
+void multiset::set(species_id s, std::uint64_t n) {
+  grow_to(s + 1);
+  counts_[s] = n;
+}
+
+bool multiset::contains(const multiset& sub) const {
+  bool ok = true;
+  sub.for_each([&](species_id s, std::uint64_t n) {
+    if (count(s) < n) ok = false;
+  });
+  return ok;
+}
+
+void multiset::add_all(const multiset& other) {
+  other.for_each([&](species_id s, std::uint64_t n) { add(s, n); });
+}
+
+void multiset::remove_all(const multiset& other) {
+  util::expects(contains(other), "multiset remove_all: not contained");
+  other.for_each([&](species_id s, std::uint64_t n) { counts_[s] -= n; });
+}
+
+double multiset::combinations(const multiset& pattern) const {
+  double prod = 1.0;
+  bool feasible = true;
+  pattern.for_each([&](species_id s, std::uint64_t m) {
+    const double ways = choose(count(s), m);
+    if (ways == 0.0) feasible = false;
+    prod *= ways;
+  });
+  return feasible ? prod : 0.0;
+}
+
+bool multiset::operator==(const multiset& other) const {
+  const std::size_t n = std::max(counts_.size(), other.counts_.size());
+  for (species_id s = 0; s < n; ++s)
+    if (count(s) != other.count(s)) return false;
+  return true;
+}
+
+}  // namespace cwc

@@ -1,0 +1,68 @@
+// Multisets of atomic species over a fixed alphabet — the building block of
+// CWC terms (both compartment contents and membranes/wraps are multisets).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cwc/species.hpp"
+
+namespace cwc {
+
+class multiset {
+ public:
+  multiset() = default;
+
+  /// Empty multiset over an alphabet of `universe` species.
+  explicit multiset(std::size_t universe) : counts_(universe, 0) {}
+
+  std::size_t universe() const noexcept { return counts_.size(); }
+
+  std::uint64_t count(species_id s) const;
+
+  /// Total number of atoms (with multiplicity).
+  std::uint64_t total() const noexcept;
+
+  /// Number of distinct species present.
+  std::size_t distinct() const noexcept;
+
+  bool is_empty() const noexcept { return total() == 0; }
+
+  void add(species_id s, std::uint64_t n = 1);
+
+  /// Remove n copies; throws util::precondition_error when fewer are present.
+  void remove(species_id s, std::uint64_t n = 1);
+
+  void set(species_id s, std::uint64_t n);
+
+  /// True when every species count in `sub` is <= the count here.
+  bool contains(const multiset& sub) const;
+
+  void add_all(const multiset& other);
+
+  /// Remove other from this; throws when not contained.
+  void remove_all(const multiset& other);
+
+  /// Gillespie combinatorics: number of distinct ways to choose the pattern
+  /// from this multiset, prod_s C(count(s), pattern(s)). Returns 0 when the
+  /// pattern is not contained.
+  double combinations(const multiset& pattern) const;
+
+  bool operator==(const multiset& other) const;
+
+  /// Iterate non-zero entries: f(species_id, count).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (species_id s = 0; s < counts_.size(); ++s)
+      if (counts_[s] != 0) f(s, counts_[s]);
+  }
+
+ private:
+  void grow_to(std::size_t n);
+  std::vector<std::uint64_t> counts_;
+};
+
+/// C(n, k) as double (k expected small); 0 when k > n.
+double choose(std::uint64_t n, std::uint64_t k) noexcept;
+
+}  // namespace cwc

@@ -1,0 +1,65 @@
+#include "cwc/ode.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cwc {
+
+std::vector<trajectory_sample> rk4_integrate(const deriv_fn& f,
+                                             std::vector<double> y0, double t0,
+                                             double t1, double dt,
+                                             double sample_period) {
+  util::expects(dt > 0.0 && sample_period > 0.0, "rk4: steps must be positive");
+  util::expects(t1 >= t0, "rk4: t1 must be >= t0");
+
+  const std::size_t n = y0.size();
+  std::vector<double> y = std::move(y0);
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+
+  std::vector<trajectory_sample> out;
+  double next_sample = t0;
+  double t = t0;
+
+  auto sample_if_due = [&](double now) {
+    while (next_sample <= t1 && next_sample <= now + 1e-12) {
+      out.push_back(trajectory_sample{next_sample, y});
+      next_sample += sample_period;
+    }
+  };
+
+  sample_if_due(t);
+  while (t < t1) {
+    const double h = std::min(dt, t1 - t);
+    f(t, y, k1);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k1[i];
+    f(t + 0.5 * h, tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k2[i];
+    f(t + 0.5 * h, tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h * k3[i];
+    f(t + h, tmp, k4);
+    for (std::size_t i = 0; i < n; ++i)
+      y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    t += h;
+    sample_if_due(t);
+  }
+  return out;
+}
+
+deriv_fn make_deriv(const reaction_network& net) {
+  return [&net](double /*t*/, std::span<const double> y, std::span<double> dydt) {
+    util::expects(y.size() >= net.num_species(), "state narrower than network");
+    for (auto& d : dydt) d = 0.0;
+    for (const reaction& r : net.reactions()) {
+      double monomial = 1.0;
+      for (const stoich& s : r.reactants) {
+        for (std::uint32_t i = 0; i < s.n; ++i) monomial *= y[s.sp];
+      }
+      const double rate = r.law.evaluate_continuous(y, monomial);
+      for (const stoich& s : r.reactants) dydt[s.sp] -= rate * s.n;
+      for (const stoich& s : r.products) dydt[s.sp] += rate * s.n;
+    }
+  };
+}
+
+}  // namespace cwc

@@ -1,0 +1,32 @@
+// Deterministic baseline: fixed-step RK4 integration. The paper positions
+// stochastic simulation against ODE modelling (§I); we provide the ODE side
+// both for validation (SSA ensemble mean ≈ ODE for large copy numbers) and
+// for the Neurospora reference dynamics (Leloup-Gonze-Goldbeter 1999).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cwc/gillespie.hpp"  // trajectory_sample
+#include "cwc/reaction_network.hpp"
+
+namespace cwc {
+
+/// dy/dt = f(t, y) -> dydt (spans have equal extent).
+using deriv_fn =
+    std::function<void(double, std::span<const double>, std::span<double>)>;
+
+/// Integrate with classic RK4 from t0 to t1 (step dt), recording the state
+/// at every multiple of sample_period (including t0).
+std::vector<trajectory_sample> rk4_integrate(const deriv_fn& f,
+                                             std::vector<double> y0, double t0,
+                                             double t1, double dt,
+                                             double sample_period);
+
+/// Mass-action / MM / Hill deterministic rate equations for a flat network,
+/// in copy-number space (valid for large populations). Non-mass-action laws
+/// are evaluated on the current continuous state.
+deriv_fn make_deriv(const reaction_network& net);
+
+}  // namespace cwc

@@ -1,0 +1,341 @@
+#include "cwc/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+namespace cwc {
+
+namespace {
+
+enum class tok_kind {
+  ident,
+  number,
+  lparen,
+  rparen,
+  colon,
+  pipe,
+  star,
+  plus,
+  arrow,
+  at,
+  comma,
+  bang,
+  end
+};
+
+struct tok {
+  tok_kind kind;
+  std::string text;
+  std::size_t pos;
+};
+
+class lexer {
+ public:
+  explicit lexer(std::string_view s) : s_(s) { advance(); }
+
+  const tok& peek() const noexcept { return cur_; }
+
+  tok take() {
+    tok t = cur_;
+    advance();
+    return t;
+  }
+
+  tok expect(tok_kind k, const char* what) {
+    if (cur_.kind != k) throw parse_error(std::string("expected ") + what, cur_.pos);
+    return take();
+  }
+
+  bool accept(tok_kind k) {
+    if (cur_.kind != k) return false;
+    advance();
+    return true;
+  }
+
+ private:
+  void advance() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
+    const std::size_t start = i_;
+    if (i_ >= s_.size()) {
+      cur_ = {tok_kind::end, "", start};
+      return;
+    }
+    const char c = s_[i_];
+    auto single = [&](tok_kind k) {
+      ++i_;
+      cur_ = {k, std::string(1, c), start};
+    };
+    switch (c) {
+      case '(': single(tok_kind::lparen); return;
+      case ')': single(tok_kind::rparen); return;
+      case ':': single(tok_kind::colon); return;
+      case '|': single(tok_kind::pipe); return;
+      case '*': single(tok_kind::star); return;
+      case '+': single(tok_kind::plus); return;
+      case '@': single(tok_kind::at); return;
+      case ',': single(tok_kind::comma); return;
+      case '!': single(tok_kind::bang); return;
+      case '-':
+        if (i_ + 1 < s_.size() && s_[i_ + 1] == '>') {
+          i_ += 2;
+          cur_ = {tok_kind::arrow, "->", start};
+          return;
+        }
+        throw parse_error("stray '-'", start);
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::size_t j = i_;
+      bool saw_exp = false;
+      while (j < s_.size()) {
+        const char d = s_[j];
+        if (std::isdigit(static_cast<unsigned char>(d)) || d == '.') {
+          ++j;
+        } else if ((d == 'e' || d == 'E') && !saw_exp) {
+          saw_exp = true;
+          ++j;
+          if (j < s_.size() && (s_[j] == '+' || s_[j] == '-')) ++j;
+        } else {
+          break;
+        }
+      }
+      cur_ = {tok_kind::number, std::string(s_.substr(i_, j - i_)), start};
+      i_ = j;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i_;
+      while (j < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[j])) || s_[j] == '_' ||
+              s_[j] == '\''))
+        ++j;
+      cur_ = {tok_kind::ident, std::string(s_.substr(i_, j - i_)), start};
+      i_ = j;
+      return;
+    }
+    throw parse_error(std::string("unexpected character '") + c + "'", start);
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+  tok cur_{tok_kind::end, "", 0};
+};
+
+std::uint64_t to_count(const tok& t) {
+  return std::strtoull(t.text.c_str(), nullptr, 10);
+}
+
+/// Parse `n* name` or `name`; returns (species, count). Assumes the caller
+/// checked that peek() is number or ident.
+std::pair<species_id, std::uint64_t> parse_atom(model& m, lexer& lx) {
+  std::uint64_t n = 1;
+  if (lx.peek().kind == tok_kind::number) {
+    n = to_count(lx.take());
+    lx.expect(tok_kind::star, "'*' after multiplicity");
+  }
+  const tok name = lx.expect(tok_kind::ident, "species name");
+  return {m.declare_species(name.text), n};
+}
+
+/// Parse a run of atoms (no compartments) until a delimiter.
+multiset parse_atoms(model& m, lexer& lx) {
+  multiset out;
+  while (lx.peek().kind == tok_kind::ident || lx.peek().kind == tok_kind::number) {
+    auto [s, n] = parse_atom(m, lx);
+    out.add(s, n);
+  }
+  return out;
+}
+
+std::unique_ptr<compartment> parse_compartment(model& m, lexer& lx);
+
+/// Parse items (atoms + compartments) into `host` until `)` or end.
+void parse_items(model& m, lexer& lx, compartment& host) {
+  for (;;) {
+    const tok_kind k = lx.peek().kind;
+    if (k == tok_kind::ident || k == tok_kind::number) {
+      auto [s, n] = parse_atom(m, lx);
+      host.content().add(s, n);
+    } else if (k == tok_kind::lparen) {
+      host.add_child(parse_compartment(m, lx));
+    } else {
+      return;
+    }
+  }
+}
+
+std::unique_ptr<compartment> parse_compartment(model& m, lexer& lx) {
+  lx.expect(tok_kind::lparen, "'('");
+  const tok type = lx.expect(tok_kind::ident, "compartment type");
+  lx.expect(tok_kind::colon, "':' after compartment type");
+  auto comp = std::make_unique<compartment>(m.declare_compartment_type(type.text));
+  comp->wrap() = parse_atoms(m, lx);
+  lx.expect(tok_kind::pipe, "'|' separating wrap and content");
+  parse_items(m, lx, *comp);
+  lx.expect(tok_kind::rparen, "')'");
+  return comp;
+}
+
+struct side {
+  multiset atoms;
+  std::vector<std::unique_ptr<compartment>> comps;
+  bool dissolve = false;
+};
+
+/// Parse one rule side: `item (+ item)*` where item is atoms, a compartment,
+/// `0` (empty), or `!dissolve` (RHS only).
+side parse_side(model& m, lexer& lx) {
+  side out;
+  for (;;) {
+    const tok_kind k = lx.peek().kind;
+    if (k == tok_kind::lparen) {
+      out.comps.push_back(parse_compartment(m, lx));
+    } else if (k == tok_kind::bang) {
+      lx.take();
+      const tok kw = lx.expect(tok_kind::ident, "'dissolve' after '!'");
+      if (kw.text != "dissolve")
+        throw parse_error("unknown directive !" + kw.text, kw.pos);
+      out.dissolve = true;
+    } else if (k == tok_kind::number && lx.peek().text == "0") {
+      lx.take();  // the empty multiset marker
+    } else if (k == tok_kind::ident || k == tok_kind::number) {
+      auto [s, n] = parse_atom(m, lx);
+      out.atoms.add(s, n);
+    } else {
+      throw parse_error("expected rule-side item", lx.peek().pos);
+    }
+    if (!lx.accept(tok_kind::plus)) return out;
+  }
+}
+
+/// driver argument: `name` or `name@child`.
+std::pair<species_id, bool> parse_driver(model& m, lexer& lx) {
+  const tok name = lx.expect(tok_kind::ident, "driver species");
+  const species_id sp = m.declare_species(name.text);
+  if (lx.accept(tok_kind::at)) {
+    const tok where = lx.expect(tok_kind::ident, "'child' after '@'");
+    if (where.text != "child")
+      throw parse_error("driver scope must be 'child'", where.pos);
+    return {sp, true};
+  }
+  return {sp, false};
+}
+
+double parse_number_arg(lexer& lx) {
+  const tok t = lx.expect(tok_kind::number, "numeric argument");
+  return std::strtod(t.text.c_str(), nullptr);
+}
+
+rate_law parse_rate(model& m, lexer& lx) {
+  if (lx.peek().kind == tok_kind::number) {
+    return rate_law::mass_action(parse_number_arg(lx));
+  }
+  const tok fn = lx.expect(tok_kind::ident, "rate function");
+  lx.expect(tok_kind::lparen, "'(' after rate function");
+  if (fn.text == "mm") {
+    const double v = parse_number_arg(lx);
+    lx.expect(tok_kind::comma, "','");
+    const double k = parse_number_arg(lx);
+    lx.expect(tok_kind::comma, "','");
+    auto [sp, in_child] = parse_driver(m, lx);
+    lx.expect(tok_kind::rparen, "')'");
+    return rate_law::michaelis_menten(v, k, sp, in_child);
+  }
+  if (fn.text == "hill_rep" || fn.text == "hill_act") {
+    const double v = parse_number_arg(lx);
+    lx.expect(tok_kind::comma, "','");
+    const double k = parse_number_arg(lx);
+    lx.expect(tok_kind::comma, "','");
+    const double n = parse_number_arg(lx);
+    lx.expect(tok_kind::comma, "','");
+    auto [sp, in_child] = parse_driver(m, lx);
+    lx.expect(tok_kind::rparen, "')'");
+    return fn.text == "hill_rep" ? rate_law::hill_repression(v, k, n, sp, in_child)
+                                 : rate_law::hill_activation(v, k, n, sp, in_child);
+  }
+  throw parse_error("unknown rate function " + fn.text, fn.pos);
+}
+
+}  // namespace
+
+std::unique_ptr<term> parse_term(model& m, std::string_view text) {
+  lexer lx(text);
+  auto root = std::make_unique<term>(top_compartment);
+  parse_items(m, lx, *root);
+  if (lx.peek().kind != tok_kind::end)
+    throw parse_error("trailing input after term", lx.peek().pos);
+  return root;
+}
+
+rule parse_rule(model& m, std::string name, std::string_view text) {
+  lexer lx(text);
+
+  // Context: `type :` or `* :`
+  comp_type_id context;
+  if (lx.accept(tok_kind::star)) {
+    context = any_compartment;
+  } else {
+    const tok ctx = lx.expect(tok_kind::ident, "context compartment type");
+    context = ctx.text == "top" ? top_compartment
+                                : m.declare_compartment_type(ctx.text);
+  }
+  lx.expect(tok_kind::colon, "':' after context");
+
+  side lhs = parse_side(m, lx);
+  if (lhs.dissolve) throw parse_error("!dissolve is only valid on the RHS", 0);
+  if (lhs.comps.size() > 1)
+    throw parse_error("at most one compartment pattern per rule", 0);
+
+  lx.expect(tok_kind::arrow, "'->'");
+  side rhs = parse_side(m, lx);
+  lx.expect(tok_kind::at, "'@ rate'");
+  rate_law law = parse_rate(m, lx);
+  if (lx.peek().kind != tok_kind::end)
+    throw parse_error("trailing input after rate", lx.peek().pos);
+
+  rule r(std::move(name), context, std::move(law));
+  lhs.atoms.for_each([&](species_id s, std::uint64_t n) { r.consume(s, n); });
+  rhs.atoms.for_each([&](species_id s, std::uint64_t n) { r.produce(s, n); });
+
+  if (!lhs.comps.empty()) {
+    const compartment& pat = *lhs.comps.front();
+    if (pat.num_children() > 0)
+      throw parse_error("nested compartment patterns are not supported", 0);
+    comp_pattern p;
+    p.type = pat.type();
+    p.wrap_req = pat.wrap();
+    p.content_req = pat.content();
+    r.match_child(std::move(p));
+
+    // RHS compartment of the same type keeps the child; its content atoms
+    // are produced inside it. Otherwise the child dissolves or is removed.
+    bool kept = false;
+    for (auto& rc : rhs.comps) {
+      if (rc->type() == pat.type() && !kept) {
+        kept = true;
+        rc->content().for_each(
+            [&](species_id s, std::uint64_t n) { r.produce_in_child(s, n); });
+      } else {
+        if (rc->num_children() > 0)
+          throw parse_error("nested compartments in RHS are not supported", 0);
+        r.create_compartment(comp_product{rc->type(), rc->wrap(), rc->content()});
+      }
+    }
+    if (!kept)
+      r.set_child_fate(rhs.dissolve ? child_fate::dissolve : child_fate::remove);
+  } else {
+    for (auto& rc : rhs.comps) {
+      if (rc->num_children() > 0)
+        throw parse_error("nested compartments in RHS are not supported", 0);
+      r.create_compartment(comp_product{rc->type(), rc->wrap(), rc->content()});
+    }
+    if (rhs.dissolve)
+      throw parse_error("!dissolve requires a compartment pattern on the LHS", 0);
+  }
+  return r;
+}
+
+}  // namespace cwc

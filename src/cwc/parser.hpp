@@ -1,0 +1,46 @@
+// Concrete syntax for CWC terms and rules.
+//
+// Terms:    "1000*A B (cell: m1 m2 | 3*C (nucleus: | D))"
+//   - atoms with optional multiplicity `n*name`
+//   - compartments `(type: wrap-atoms | content)`
+//   - the string denotes the *content* of the implicit top compartment
+//
+// Rules:    "cell: 2*A + (nucleus: | B) -> C + (nucleus: | ) @ 0.5"
+//   - context type (or `*` for any compartment) before the colon
+//   - LHS/RHS multisets joined by `+`; `0` denotes the empty multiset
+//   - at most one compartment pattern on the LHS; repeating the same
+//     compartment type on the RHS keeps the child (its content atoms are
+//     produced inside the child); the keyword `!dissolve` dissolves it;
+//     omitting it removes the child entirely
+//   - a compartment on the RHS without an LHS pattern creates a fresh child
+//   - rates: `@ k` (mass action), `@ mm(V, K, driver)`,
+//     `@ hill_rep(v, K, n, driver)`, `@ hill_act(v, K, n, driver)`;
+//     a driver written `name@child` reads the bound child's content
+//
+// Parsing interns unknown species / compartment-type names into the model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cwc/model.hpp"
+
+namespace cwc {
+
+/// Error with position information for malformed input.
+class parse_error : public std::runtime_error {
+ public:
+  parse_error(const std::string& what, std::size_t pos)
+      : std::runtime_error(what + " (at offset " + std::to_string(pos) + ")"),
+        position(pos) {}
+  std::size_t position;
+};
+
+/// Parse a term (the content of the top compartment).
+std::unique_ptr<term> parse_term(model& m, std::string_view text);
+
+/// Parse a rule and return it (not yet added to the model).
+rule parse_rule(model& m, std::string name, std::string_view text);
+
+}  // namespace cwc

@@ -1,0 +1,98 @@
+#include "cwc/rate_law.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cwc {
+
+rate_law rate_law::mass_action(double k) {
+  util::expects(k >= 0.0, "mass-action constant must be non-negative");
+  return rate_law(kind::mass_action, k, 0, 0, 0, false, nullptr);
+}
+
+rate_law rate_law::michaelis_menten(double vmax, double km, species_id driver,
+                                    bool driver_in_child) {
+  util::expects(vmax >= 0.0 && km > 0.0, "MM parameters out of range");
+  return rate_law(kind::michaelis_menten, vmax, km, 0, driver, driver_in_child,
+                  nullptr);
+}
+
+rate_law rate_law::hill_repression(double v, double k, double n, species_id driver,
+                                   bool driver_in_child) {
+  util::expects(v >= 0.0 && k > 0.0 && n > 0.0, "Hill parameters out of range");
+  return rate_law(kind::hill_repression, v, k, n, driver, driver_in_child, nullptr);
+}
+
+rate_law rate_law::hill_activation(double v, double k, double n, species_id driver,
+                                   bool driver_in_child) {
+  util::expects(v >= 0.0 && k > 0.0 && n > 0.0, "Hill parameters out of range");
+  return rate_law(kind::hill_activation, v, k, n, driver, driver_in_child, nullptr);
+}
+
+rate_law rate_law::custom(custom_fn fn) {
+  util::expects(fn != nullptr, "custom rate law requires a callable");
+  return rate_law(kind::custom, 0, 0, 0, 0, false, std::move(fn));
+}
+
+double rate_law::driver_count(const rate_ctx& ctx) const {
+  if (driver_in_child_) {
+    return ctx.child_content != nullptr
+               ? static_cast<double>(ctx.child_content->count(driver_))
+               : 0.0;
+  }
+  return static_cast<double>(ctx.local.count(driver_));
+}
+
+double rate_law::evaluate(const rate_ctx& ctx) const {
+  switch (kind_) {
+    case kind::mass_action:
+      return a_ * ctx.combinations;
+    case kind::michaelis_menten: {
+      const double n = driver_count(ctx);
+      return n == 0.0 ? 0.0 : a_ * n / (b_ + n);
+    }
+    case kind::hill_repression: {
+      const double x = driver_count(ctx);
+      const double kn = std::pow(b_, c_);
+      return a_ * kn / (kn + std::pow(x, c_));
+    }
+    case kind::hill_activation: {
+      const double x = driver_count(ctx);
+      if (x == 0.0) return 0.0;
+      const double xn = std::pow(x, c_);
+      return a_ * xn / (std::pow(b_, c_) + xn);
+    }
+    case kind::custom:
+      return fn_(ctx);
+  }
+  return 0.0;
+}
+
+double rate_law::evaluate_continuous(std::span<const double> y,
+                                     double mass_action_product) const {
+  switch (kind_) {
+    case kind::mass_action:
+      return a_ * mass_action_product;
+    case kind::michaelis_menten: {
+      const double n = driver_ < y.size() ? y[driver_] : 0.0;
+      return a_ * n / (b_ + n);
+    }
+    case kind::hill_repression: {
+      const double x = driver_ < y.size() ? y[driver_] : 0.0;
+      const double kn = std::pow(b_, c_);
+      return a_ * kn / (kn + std::pow(x, c_));
+    }
+    case kind::hill_activation: {
+      const double x = driver_ < y.size() ? y[driver_] : 0.0;
+      if (x <= 0.0) return 0.0;
+      const double xn = std::pow(x, c_);
+      return a_ * xn / (std::pow(b_, c_) + xn);
+    }
+    case kind::custom:
+      break;
+  }
+  throw std::logic_error("custom rate laws have no deterministic form");
+}
+
+}  // namespace cwc

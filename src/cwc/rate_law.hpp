@@ -1,0 +1,87 @@
+// Stochastic kinetic laws attached to CWC rewrite rules.
+//
+// mass_action covers elementary reactions: propensity =
+//   k * (distinct reactant combinations in the matched compartment).
+// michaelis_menten and hill_* cover the reduced kinetics used by the
+// Neurospora circadian model (the paper's workload): their propensity is a
+// nonlinear function of a driver species' copy number, as is standard when
+// embedding quasi-steady-state kinetics in an SSA (Rao & Arkin, 2003).
+// `custom` accepts any callable on the match context.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "cwc/multiset.hpp"
+#include "cwc/species.hpp"
+
+namespace cwc {
+
+/// What a rate law may inspect when evaluated for one candidate match.
+struct rate_ctx {
+  const multiset& local;          ///< content of the compartment the rule fires in
+  const multiset* child_content;  ///< content of the bound child (nullptr if none)
+  double combinations;            ///< mass-action combinatorial factor of the match
+};
+
+class rate_law {
+ public:
+  using custom_fn = std::function<double(const rate_ctx&)>;
+
+  /// Elementary mass-action kinetics with stochastic rate constant `k`.
+  static rate_law mass_action(double k);
+
+  /// Michaelis-Menten propensity V*n/(K+n) where n is the copy number of
+  /// `driver` (in the child content when `driver_in_child`).
+  static rate_law michaelis_menten(double vmax, double km, species_id driver,
+                                   bool driver_in_child = false);
+
+  /// Hill repression propensity v*K^n/(K^n + x^n) with x the driver count —
+  /// the transcription-inhibition law of the Neurospora model.
+  static rate_law hill_repression(double v, double k, double n, species_id driver,
+                                  bool driver_in_child = false);
+
+  /// Hill activation propensity v*x^n/(K^n + x^n).
+  static rate_law hill_activation(double v, double k, double n, species_id driver,
+                                  bool driver_in_child = false);
+
+  /// Arbitrary user-defined propensity.
+  static rate_law custom(custom_fn fn);
+
+  /// Propensity of one candidate match. Non-negative; 0 disables the match.
+  double evaluate(const rate_ctx& ctx) const;
+
+  /// Deterministic (mean-field) rate for the ODE converter: the caller
+  /// supplies the continuous state and the mass-action monomial
+  /// prod_s y_s^{n_s}; MM/Hill read the driver from `y`. Throws for
+  /// custom laws (no closed deterministic form).
+  double evaluate_continuous(std::span<const double> y,
+                             double mass_action_product) const;
+
+  /// True for mass_action (used by the deterministic ODE converter).
+  bool is_mass_action() const noexcept { return kind_ == kind::mass_action; }
+
+  /// The mass-action constant; only meaningful when is_mass_action().
+  double constant() const noexcept { return a_; }
+
+ private:
+  enum class kind { mass_action, michaelis_menten, hill_repression, hill_activation, custom };
+
+  rate_law(kind k, double a, double b, double c, species_id driver,
+           bool driver_in_child, custom_fn fn)
+      : kind_(k), a_(a), b_(b), c_(c), driver_(driver),
+        driver_in_child_(driver_in_child), fn_(std::move(fn)) {}
+
+  double driver_count(const rate_ctx& ctx) const;
+
+  kind kind_;
+  double a_ = 0.0;  // k | Vmax | v
+  double b_ = 0.0;  // -  | Km   | K
+  double c_ = 0.0;  // -  | -    | n (Hill exponent)
+  species_id driver_ = 0;
+  bool driver_in_child_ = false;
+  custom_fn fn_;
+};
+
+}  // namespace cwc

@@ -1,0 +1,46 @@
+#include "cwc/reaction_network.hpp"
+
+#include "util/check.hpp"
+
+namespace cwc {
+
+void reaction_network::set_initial(species_id sp, std::uint64_t n) {
+  if (initial_.size() <= sp) initial_.resize(sp + 1, 0);
+  initial_[sp] = n;
+}
+
+std::size_t reaction_network::add_reaction(std::string name,
+                                           std::vector<stoich> reactants,
+                                           std::vector<stoich> products,
+                                           rate_law law) {
+  reactions_.push_back(
+      reaction{std::move(name), std::move(reactants), std::move(products),
+               std::move(law)});
+  return reactions_.size() - 1;
+}
+
+double reaction_network::propensity(std::size_t j, const multiset& state) const {
+  const reaction& r = reactions_.at(j);
+  double comb = 1.0;
+  for (const stoich& s : r.reactants) {
+    comb *= choose(state.count(s.sp), s.n);
+    if (comb == 0.0) return 0.0;
+  }
+  const rate_ctx ctx{state, nullptr, comb};
+  return r.law.evaluate(ctx);
+}
+
+void reaction_network::apply(std::size_t j, multiset& state) const {
+  const reaction& r = reactions_.at(j);
+  for (const stoich& s : r.reactants) state.remove(s.sp, s.n);
+  for (const stoich& s : r.products) state.add(s.sp, s.n);
+}
+
+multiset reaction_network::make_initial_state() const {
+  multiset m(species_.size());
+  for (species_id s = 0; s < initial_.size(); ++s)
+    if (initial_[s] != 0) m.set(s, initial_[s]);
+  return m;
+}
+
+}  // namespace cwc

@@ -1,0 +1,60 @@
+// Flat (compartment-free) reaction networks — the classic Gillespie setting
+// and our StochKit-like baseline. Used to cross-validate the CWC engine
+// (a flattened model must match the compartmentalised one statistically),
+// to feed the ODE integrator, and for engine micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cwc/multiset.hpp"
+#include "cwc/rate_law.hpp"
+#include "cwc/species.hpp"
+
+namespace cwc {
+
+struct stoich {
+  species_id sp = 0;
+  std::uint32_t n = 1;
+};
+
+struct reaction {
+  std::string name;
+  std::vector<stoich> reactants;
+  std::vector<stoich> products;
+  rate_law law;
+};
+
+class reaction_network {
+ public:
+  species_id declare_species(std::string_view name) { return species_.intern(name); }
+  const symbol_table& species() const noexcept { return species_; }
+  std::size_t num_species() const noexcept { return species_.size(); }
+
+  void set_initial(species_id sp, std::uint64_t n);
+  const std::vector<std::uint64_t>& initial() const noexcept { return initial_; }
+
+  /// Add `reactants -> products @ law`; returns the reaction index.
+  std::size_t add_reaction(std::string name, std::vector<stoich> reactants,
+                           std::vector<stoich> products, rate_law law);
+
+  const std::vector<reaction>& reactions() const noexcept { return reactions_; }
+
+  /// Propensity of reaction `j` for the given state.
+  double propensity(std::size_t j, const multiset& state) const;
+
+  /// Apply reaction `j` in place. Precondition: propensity(j, state) > 0
+  /// was computed for this state (reactants are present).
+  void apply(std::size_t j, multiset& state) const;
+
+  /// Initial state as a multiset sized to the species universe.
+  multiset make_initial_state() const;
+
+ private:
+  symbol_table species_;
+  std::vector<reaction> reactions_;
+  std::vector<std::uint64_t> initial_;
+};
+
+}  // namespace cwc

@@ -1,0 +1,126 @@
+#include "cwc/rule.hpp"
+
+#include "util/check.hpp"
+
+namespace cwc {
+
+rule& rule::consume(species_id s, std::uint64_t n) {
+  reactants_.add(s, n);
+  return *this;
+}
+
+rule& rule::match_child(comp_pattern p) {
+  util::expects(!child_pattern_.has_value(), "rule supports one child pattern");
+  child_pattern_ = std::move(p);
+  return *this;
+}
+
+rule& rule::produce(species_id s, std::uint64_t n) {
+  products_.add(s, n);
+  return *this;
+}
+
+rule& rule::produce_in_child(species_id s, std::uint64_t n) {
+  util::expects(child_pattern_.has_value(),
+                "produce_in_child requires a child pattern");
+  child_products_.add(s, n);
+  return *this;
+}
+
+rule& rule::consume_from_child(species_id s, std::uint64_t n) {
+  util::expects(child_pattern_.has_value(),
+                "consume_from_child requires a child pattern");
+  child_pattern_->content_req.add(s, n);
+  return *this;
+}
+
+rule& rule::create_compartment(comp_product c) {
+  new_compartments_.push_back(std::move(c));
+  return *this;
+}
+
+rule& rule::set_child_fate(child_fate f) {
+  util::expects(child_pattern_.has_value() || f == child_fate::keep,
+                "child fate requires a child pattern");
+  fate_ = f;
+  return *this;
+}
+
+double rule::match_propensity(const compartment& host,
+                              const compartment* child) const {
+  double comb = host.content().combinations(reactants_);
+  if (comb == 0.0) return 0.0;
+  if (child_pattern_.has_value()) {
+    util::expects(child != nullptr, "child pattern without candidate child");
+    if (child->type() != child_pattern_->type) return 0.0;
+    const double cw = child->wrap().combinations(child_pattern_->wrap_req);
+    const double cc = child->content().combinations(child_pattern_->content_req);
+    comb *= cw * cc;
+    if (comb == 0.0) return 0.0;
+  }
+  const rate_ctx ctx{host.content(), child != nullptr ? &child->content() : nullptr,
+                     comb};
+  return law_.evaluate(ctx);
+}
+
+std::vector<rule::match> rule::enumerate(const compartment& host) const {
+  std::vector<match> out;
+  if (!child_pattern_.has_value()) {
+    const double p = match_propensity(host, nullptr);
+    if (p > 0.0) out.push_back({std::nullopt, p});
+    return out;
+  }
+  for (std::size_t i = 0; i < host.num_children(); ++i) {
+    const double p = match_propensity(host, &host.child(i));
+    if (p > 0.0) out.push_back({i, p});
+  }
+  return out;
+}
+
+double rule::total_propensity(const compartment& host) const {
+  double sum = 0.0;
+  if (!child_pattern_.has_value()) return match_propensity(host, nullptr);
+  for (std::size_t i = 0; i < host.num_children(); ++i)
+    sum += match_propensity(host, &host.child(i));
+  return sum;
+}
+
+void rule::apply(compartment& host, const match& m) const {
+  host.content().remove_all(reactants_);
+  host.content().add_all(products_);
+
+  for (const comp_product& cp : new_compartments_) {
+    auto fresh = std::make_unique<compartment>(cp.type, cp.wrap, cp.content);
+    host.add_child(std::move(fresh));
+  }
+
+  if (!child_pattern_.has_value()) return;
+  util::expects(m.child_index.has_value(), "match lacks the bound child");
+  const std::size_t idx = *m.child_index;
+  util::expects(idx < host.num_children(), "bound child index out of range");
+  compartment& child = host.child(idx);
+  util::expects(child.type() == child_pattern_->type, "bound child type changed");
+
+  child.content().remove_all(child_pattern_->content_req);
+  child.content().add_all(child_products_);
+
+  switch (fate_) {
+    case child_fate::keep:
+      break;
+    case child_fate::dissolve: {
+      auto detached = host.remove_child(idx);
+      host.content().add_all(detached->content());
+      host.content().add_all(detached->wrap());
+      // Grandchildren float up to the host.
+      while (detached->num_children() > 0) {
+        host.add_child(detached->remove_child(0));
+      }
+      break;
+    }
+    case child_fate::remove:
+      host.remove_child(idx);
+      break;
+  }
+}
+
+}  // namespace cwc

@@ -1,0 +1,32 @@
+#include "cwc/species.hpp"
+
+#include <stdexcept>
+
+namespace cwc {
+
+std::uint32_t symbol_table::intern(std::string_view name) {
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint32_t symbol_table::id(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end())
+    throw std::out_of_range("unknown symbol: " + std::string(name));
+  return it->second;
+}
+
+bool symbol_table::contains(std::string_view name) const {
+  return index_.count(std::string(name)) > 0;
+}
+
+const std::string& symbol_table::name(std::uint32_t id) const {
+  if (id >= names_.size()) throw std::out_of_range("symbol id out of range");
+  return names_[id];
+}
+
+}  // namespace cwc

@@ -1,0 +1,43 @@
+// Symbol interning for CWC alphabets: atomic species names and compartment
+// type names map to dense ids, so multisets can be dense count vectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cwc {
+
+using species_id = std::uint32_t;
+using comp_type_id = std::uint32_t;
+
+/// Id of the implicit outermost compartment type (always interned first
+/// in the compartment-type table as "top").
+inline constexpr comp_type_id top_compartment = 0;
+
+/// Sentinel meaning "any compartment type" in rule contexts.
+inline constexpr comp_type_id any_compartment = UINT32_MAX;
+
+class symbol_table {
+ public:
+  /// Intern `name`, returning its stable dense id (existing id if present).
+  std::uint32_t intern(std::string_view name);
+
+  /// Lookup an already-interned name. Throws std::out_of_range when absent.
+  std::uint32_t id(std::string_view name) const;
+
+  /// True when `name` has been interned.
+  bool contains(std::string_view name) const;
+
+  const std::string& name(std::uint32_t id) const;
+
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+}  // namespace cwc

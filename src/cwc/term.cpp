@@ -1,0 +1,101 @@
+#include "cwc/term.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cwc {
+
+compartment& compartment::add_child(std::unique_ptr<compartment> c) {
+  util::expects(c != nullptr, "add_child: null compartment");
+  children_.push_back(std::move(c));
+  return *children_.back();
+}
+
+std::unique_ptr<compartment> compartment::remove_child(std::size_t i) {
+  util::expects(i < children_.size(), "remove_child: index out of range");
+  auto out = std::move(children_[i]);
+  children_.erase(children_.begin() + static_cast<std::ptrdiff_t>(i));
+  return out;
+}
+
+std::unique_ptr<compartment> compartment::clone() const {
+  auto copy = std::make_unique<compartment>(type_, wrap_, content_);
+  for (const auto& c : children_) copy->children_.push_back(c->clone());
+  return copy;
+}
+
+bool compartment::equals(const compartment& other) const {
+  if (type_ != other.type_ || !(wrap_ == other.wrap_) ||
+      !(content_ == other.content_) || children_.size() != other.children_.size())
+    return false;
+  for (std::size_t i = 0; i < children_.size(); ++i)
+    if (!children_[i]->equals(*other.children_[i])) return false;
+  return true;
+}
+
+std::uint64_t compartment::total_count(species_id s) const {
+  std::uint64_t n = content_.count(s) + wrap_.count(s);
+  for (const auto& c : children_) n += c->total_count(s);
+  return n;
+}
+
+std::uint64_t compartment::count_in_type(species_id s, comp_type_id scope) const {
+  std::uint64_t n = (type_ == scope) ? content_.count(s) : 0;
+  for (const auto& c : children_) n += c->count_in_type(s, scope);
+  return n;
+}
+
+std::size_t compartment::tree_size() const noexcept {
+  std::size_t n = 1;
+  for (const auto& c : children_) n += c->tree_size();
+  return n;
+}
+
+std::size_t compartment::depth() const noexcept {
+  std::size_t d = 0;
+  for (const auto& c : children_) d = std::max(d, c->depth());
+  return d + 1;
+}
+
+namespace {
+
+void render_multiset(std::ostringstream& os, const multiset& m,
+                     const symbol_table& species, bool& first) {
+  m.for_each([&](species_id s, std::uint64_t n) {
+    if (!first) os << ' ';
+    first = false;
+    if (n != 1) os << n << '*';
+    os << species.name(s);
+  });
+}
+
+void render(std::ostringstream& os, const compartment& c, const symbol_table& species,
+            const symbol_table& types, bool as_root) {
+  if (!as_root) {
+    os << '(' << types.name(c.type()) << ": ";
+    bool wf = true;
+    render_multiset(os, c.wrap(), species, wf);
+    os << " | ";
+  }
+  bool first = true;
+  render_multiset(os, c.content(), species, first);
+  for (const auto& child : c.children()) {
+    if (!first) os << ' ';
+    first = false;
+    render(os, *child, species, types, false);
+  }
+  if (!as_root) os << ')';
+}
+
+}  // namespace
+
+std::string to_string(const compartment& c, const symbol_table& species,
+                      const symbol_table& types) {
+  std::ostringstream os;
+  render(os, c, species, types, c.type() == top_compartment);
+  return os.str();
+}
+
+}  // namespace cwc

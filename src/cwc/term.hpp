@@ -1,0 +1,99 @@
+// CWC terms: a term is a multiset of atoms and compartments; a compartment
+// wraps a term with a membrane (itself a multiset of atoms) and a type
+// label. Terms therefore form trees — "any implementation of the CWC is
+// significantly more complex than a plain Gillespie algorithm because terms
+// should be represented by dynamic data structures (trees actually)"
+// (paper §IV).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cwc/multiset.hpp"
+#include "cwc/species.hpp"
+
+namespace cwc {
+
+class compartment {
+ public:
+  compartment() = default;
+  explicit compartment(comp_type_id type, std::size_t universe = 0)
+      : type_(type), wrap_(universe), content_(universe) {}
+
+  compartment(comp_type_id type, multiset wrap, multiset content)
+      : type_(type), wrap_(std::move(wrap)), content_(std::move(content)) {}
+
+  comp_type_id type() const noexcept { return type_; }
+  void set_type(comp_type_id t) noexcept { type_ = t; }
+
+  const multiset& wrap() const noexcept { return wrap_; }
+  multiset& wrap() noexcept { return wrap_; }
+
+  const multiset& content() const noexcept { return content_; }
+  multiset& content() noexcept { return content_; }
+
+  const std::vector<std::unique_ptr<compartment>>& children() const noexcept {
+    return children_;
+  }
+
+  std::size_t num_children() const noexcept { return children_.size(); }
+  compartment& child(std::size_t i) { return *children_.at(i); }
+  const compartment& child(std::size_t i) const { return *children_.at(i); }
+
+  /// Adopt a child compartment; returns a reference to it.
+  compartment& add_child(std::unique_ptr<compartment> c);
+
+  /// Detach and return child `i` (order of remaining children preserved).
+  std::unique_ptr<compartment> remove_child(std::size_t i);
+
+  /// Deep copy of this subtree.
+  std::unique_ptr<compartment> clone() const;
+
+  /// Structural equality (type, wrap, content, children in order).
+  bool equals(const compartment& other) const;
+
+  /// Total count of species `s` in this subtree (contents + wraps).
+  std::uint64_t total_count(species_id s) const;
+
+  /// Total count of `s` restricted to compartments of type `scope`
+  /// (contents only).
+  std::uint64_t count_in_type(species_id s, comp_type_id scope) const;
+
+  /// Number of compartment nodes in the subtree (including this one).
+  std::size_t tree_size() const noexcept;
+
+  /// Longest root-to-leaf nesting depth (a lone compartment has depth 1).
+  std::size_t depth() const noexcept;
+
+  /// Visit every compartment in the subtree pre-order: f(compartment&).
+  template <typename F>
+  void visit(F&& f) {
+    f(*this);
+    for (auto& c : children_) c->visit(f);
+  }
+
+  template <typename F>
+  void visit(F&& f) const {
+    f(*this);
+    for (const auto& c : children_) c->visit(f);
+  }
+
+ private:
+  comp_type_id type_ = top_compartment;
+  multiset wrap_;
+  multiset content_;
+  std::vector<std::unique_ptr<compartment>> children_;
+};
+
+/// A term is the outermost compartment (type `top`, empty wrap).
+using term = compartment;
+
+/// Render a term using the library's concrete syntax, e.g.
+///   "3*A B (cell: m | 2*C (nucleus: | D))"
+/// Species/type names come from the given tables.
+std::string to_string(const compartment& c, const symbol_table& species,
+                      const symbol_table& types);
+
+}  // namespace cwc

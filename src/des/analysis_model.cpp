@@ -1,0 +1,75 @@
+#include "des/analysis_model.hpp"
+
+#include <algorithm>
+
+#include "des/pipeline_model.hpp"
+#include "util/check.hpp"
+
+namespace des {
+
+analysis_model::analysis_model(resource& cpu, const workload& w,
+                               const calibration& cal, const host_spec& host,
+                               unsigned stat_engines, std::size_t window_size,
+                               std::size_t window_slide, sim_outcome& out)
+    : cpu_(&cpu),
+      w_(&w),
+      cal_(&cal),
+      host_(&host),
+      stat_free_(stat_engines),
+      window_size_(std::max<std::size_t>(1, window_size)),
+      window_slide_(std::max<std::size_t>(1, window_slide)),
+      out_(&out),
+      cut_filled_(w.num_samples, 0) {
+  util::expects(stat_engines > 0, "analysis needs at least one stat engine");
+}
+
+void analysis_model::deliver(std::uint64_t first_sample, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t k = first_sample + i;
+    util::expects(k < cut_filled_.size(), "sample index beyond horizon");
+    if (++cut_filled_[k] == w_->num_trajectories) {
+      ++out_->cuts;
+      ++ready_cuts_;
+      ++since_last_window_;
+    }
+  }
+  // A window job covers window_size cuts and is issued every window_slide
+  // newly completed cuts (overlap when slide < size) — the sliding-window
+  // generator of Fig. 2.
+  while (ready_cuts_ >= window_size_ && since_last_window_ >= window_slide_) {
+    enqueue_job(window_size_);
+    since_last_window_ -= window_slide_;
+  }
+  if (out_->cuts == w_->num_samples && since_last_window_ > 0) {
+    // Trailing partial window at end of stream.
+    enqueue_job(std::min<std::size_t>(window_size_, ready_cuts_));
+    since_last_window_ = 0;
+  }
+  pump();
+}
+
+double analysis_model::align_cost(std::uint32_t samples) const {
+  return static_cast<double>(samples) * cal_->align_ns_per_sample * 1e-9 /
+         host_->speed * effective_overhead(*host_);
+}
+
+void analysis_model::pump() {
+  while (stat_free_ > 0 && !job_queue_.empty()) {
+    const std::size_t cuts = job_queue_.front();
+    job_queue_.pop_front();
+    --stat_free_;
+    const double service = static_cast<double>(cuts) *
+                           static_cast<double>(w_->num_trajectories) *
+                           static_cast<double>(w_->observables) *
+                           cal_->stat_ns_per_point * 1e-9 / host_->speed *
+                           effective_overhead(*host_);
+    out_->stat_busy_s += service;
+    ++out_->stat_jobs;
+    cpu_->submit(service, [this] {
+      ++stat_free_;
+      pump();
+    });
+  }
+}
+
+}  // namespace des

@@ -1,0 +1,8 @@
+// Umbrella header for the discrete-event performance-simulation library.
+#pragma once
+
+#include "des/engine.hpp"
+#include "des/pipeline_model.hpp"
+#include "des/platforms.hpp"
+#include "des/resource.hpp"
+#include "des/trace.hpp"

@@ -1,0 +1,25 @@
+#include "des/engine.hpp"
+
+#include "util/check.hpp"
+
+namespace des {
+
+void engine::at(double t, handler h) {
+  util::expects(t >= now_, "cannot schedule an event in the past");
+  q_.push(event{t, seq_++, std::move(h)});
+}
+
+double engine::run() {
+  while (!q_.empty()) {
+    // Moving out of a priority_queue top requires a const_cast dance; copy
+    // the POD parts and move the handler via extraction into a local.
+    event e = std::move(const_cast<event&>(q_.top()));
+    q_.pop();
+    now_ = e.t;
+    ++executed_;
+    e.h();
+  }
+  return now_;
+}
+
+}  // namespace des

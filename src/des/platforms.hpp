@@ -1,0 +1,67 @@
+// Platform presets mirroring the paper's evaluation hardware (§V).
+// Speeds are relative to the calibration machine (service time =
+// steps * ns_per_step / speed * overhead); communication numbers are
+// typical for the named technology.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace des {
+
+struct host_spec {
+  std::string name;
+  unsigned cores = 1;      ///< schedulable contexts (incl. hyperthreads)
+  double speed = 1.0;      ///< relative single-thread speed
+  double overhead = 1.0;   ///< multiplicative tax (virtualisation etc.)
+  /// SMP scaling tax: each additional busy core slows all cores by this
+  /// fraction (hypervisor steal / shared tenancy / memory contention on
+  /// multi-vCPU cloud instances). 0 = perfect scaling. The EC2 preset is
+  /// calibrated on the paper's own Fig. 5 measurement (224' -> 71',
+  /// S(4) = 3.15) and validated against Fig. 6.
+  double smp_tax = 0.0;
+};
+
+/// Effective service-time multiplier for a host with all cores busy.
+inline double effective_overhead(const host_spec& h) {
+  return h.overhead * (1.0 + h.smp_tax * static_cast<double>(h.cores - 1));
+}
+
+struct link_spec {
+  std::string name;
+  double latency_s = 0.0;
+  double bytes_per_s = 0.0;  ///< 0 = infinite bandwidth
+};
+
+namespace platforms {
+
+/// Paper platform 1: 4x8-core E7-4820 Nehalem @2.0GHz, 64 hyperthreads.
+inline host_spec nehalem_32core() { return {"nehalem-32c64t", 64, 1.0, 1.0}; }
+
+/// Paper cluster node: 2x6-core Xeon X5670 @3.0GHz, 12 hyperthreads... 24
+/// contexts; the paper uses up to 4 cores per node, so contexts are ample.
+inline host_spec xeon_x5670() { return {"xeon-x5670", 24, 1.15, 1.0}; }
+
+/// Paper cloud node: Amazon EC2 VM, 4 vcores E5-2670 @2.6GHz. The SMP tax
+/// reproduces the paper's measured 4-vcore scaling (Fig. 5: S(4) = 3.15).
+inline host_spec ec2_quadcore_vm() {
+  return {"ec2-quadcore-vm", 4, 1.1, 1.05, 0.09};
+}
+
+/// Paper heterogeneous extra: 16-core Sandy Bridge workstation.
+inline host_spec sandybridge_16core() { return {"sandybridge-16c", 32, 1.2, 1.0}; }
+
+/// Shared-memory "link" between pipeline stages on one host.
+inline link_spec shm() { return {"shm", 80e-9, 8e9}; }
+
+/// Gigabit Ethernet (TCP).
+inline link_spec eth_1g() { return {"eth-1g", 60e-6, 110e6}; }
+
+/// Infiniband via IPoIB, as in the paper (§V-A).
+inline link_spec ipoib() { return {"ipoib", 20e-6, 1.1e9}; }
+
+/// EC2 instance-to-instance network.
+inline link_spec ec2_net() { return {"ec2-net", 120e-6, 90e6}; }
+
+}  // namespace platforms
+}  // namespace des

@@ -1,0 +1,74 @@
+#include "des/resource.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace des {
+
+resource::resource(engine& eng, unsigned servers) : eng_(&eng), servers_(servers) {
+  util::expects(servers > 0, "resource needs at least one server");
+}
+
+void resource::submit(double service_time, engine::handler on_complete) {
+  util::expects(service_time >= 0.0, "negative service time");
+  queue_.push_back(job{service_time, std::move(on_complete)});
+  try_start();
+}
+
+void resource::try_start() {
+  while (in_service_ < servers_ && !queue_.empty()) {
+    job j = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_service_;
+    busy_ += j.service;
+    eng_->after(j.service, [this, done = std::move(j.done)]() mutable {
+      --in_service_;
+      ++completed_;
+      // Start successors before running the completion hook so service
+      // capacity is never left idle across a completion cascade.
+      try_start();
+      done();
+    });
+  }
+}
+
+slot_pool::slot_pool(engine& eng, unsigned slots) : eng_(&eng), free_(slots) {
+  util::expects(slots > 0, "slot_pool needs at least one slot");
+}
+
+void slot_pool::acquire(engine::handler granted) {
+  if (free_ > 0) {
+    --free_;
+    // Defer to an event so acquisition order stays FIFO w.r.t. the clock.
+    eng_->after(0.0, std::move(granted));
+    return;
+  }
+  waiters_.push_back(std::move(granted));
+}
+
+void slot_pool::release() {
+  if (!waiters_.empty()) {
+    auto h = std::move(waiters_.front());
+    waiters_.pop_front();
+    eng_->after(0.0, std::move(h));
+    return;
+  }
+  ++free_;
+}
+
+link::link(engine& eng, double latency_s, double bytes_per_s)
+    : eng_(&eng), wire_(eng, 1), latency_(latency_s), bytes_per_s_(bytes_per_s) {
+  util::expects(latency_s >= 0.0, "negative link latency");
+}
+
+void link::send(double bytes, engine::handler delivered) {
+  const double xfer = bytes_per_s_ > 0.0 ? bytes / bytes_per_s_ : 0.0;
+  // The wire serialises back-to-back transfers; propagation latency then
+  // runs concurrently for pipelined messages.
+  wire_.submit(xfer, [this, delivered = std::move(delivered)]() mutable {
+    eng_->after(latency_, std::move(delivered));
+  });
+}
+
+}  // namespace des

@@ -1,0 +1,83 @@
+// DES resources: k-server FIFO queues (CPU cores, NIC links) and counting
+// semaphores (farm worker slots). These compose into the platform models.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "des/engine.hpp"
+
+namespace des {
+
+/// A pool of `servers` identical servers with a shared FIFO queue — models
+/// a multi-core CPU executing jobs (quanta, statistics) or a network link
+/// (1 server) transferring messages.
+class resource {
+ public:
+  resource(engine& eng, unsigned servers);
+
+  /// Enqueue a job needing `service_time` seconds of one server;
+  /// `on_complete` fires when it finishes.
+  void submit(double service_time, engine::handler on_complete);
+
+  unsigned servers() const noexcept { return servers_; }
+  std::uint64_t jobs_completed() const noexcept { return completed_; }
+
+  /// Total service seconds delivered (utilisation = busy/(servers*makespan)).
+  double busy_seconds() const noexcept { return busy_; }
+
+ private:
+  struct job {
+    double service;
+    engine::handler done;
+  };
+  void try_start();
+
+  engine* eng_;
+  unsigned servers_;
+  unsigned in_service_ = 0;
+  std::deque<job> queue_;
+  std::uint64_t completed_ = 0;
+  double busy_ = 0.0;
+};
+
+/// A counting semaphore over the virtual clock — models a farm's bounded
+/// worker slots (concurrency limit), independent of which core runs a job.
+class slot_pool {
+ public:
+  slot_pool(engine& eng, unsigned slots);
+
+  /// Request a slot; `granted` runs (possibly immediately) once acquired.
+  void acquire(engine::handler granted);
+
+  /// Return a slot, waking the oldest waiter.
+  void release();
+
+  unsigned available() const noexcept { return free_; }
+
+ private:
+  engine* eng_;
+  unsigned free_;
+  std::deque<engine::handler> waiters_;
+};
+
+/// A point-to-point link: latency + size/bandwidth, FIFO over the wire.
+class link {
+ public:
+  /// latency in seconds, bandwidth in bytes/second (0 = infinite).
+  link(engine& eng, double latency_s, double bytes_per_s);
+
+  /// Transfer `bytes`; `delivered` fires at arrival time.
+  void send(double bytes, engine::handler delivered);
+
+  double latency() const noexcept { return latency_; }
+
+ private:
+  engine* eng_;
+  resource wire_;  // serialisation on the sender NIC
+  double latency_;
+  double bytes_per_s_;
+};
+
+}  // namespace des

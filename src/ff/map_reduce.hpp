@@ -1,0 +1,51 @@
+// map / reduce / map_reduce high-level patterns over containers, built on
+// the parallel_for worker pool (FastFlow layers these the same way).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ff/parallel_for.hpp"
+#include "util/check.hpp"
+
+namespace ff {
+
+/// out[i] = f(in[i]) in parallel. Output container is sized by the caller.
+template <typename In, typename Out, typename F>
+void map(parallel_for& pf, std::span<const In> in, std::span<Out> out, F&& f,
+         std::int64_t grain = 0) {
+  util::expects(in.size() == out.size(), "map requires equal extents");
+  pf.for_each(0, static_cast<std::int64_t>(in.size()), grain,
+              [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = f(in[static_cast<std::size_t>(i)]); });
+}
+
+/// In-place map: x = f(x) for every element.
+template <typename T, typename F>
+void map_inplace(parallel_for& pf, std::span<T> data, F&& f, std::int64_t grain = 0) {
+  pf.for_each(0, static_cast<std::int64_t>(data.size()), grain, [&](std::int64_t i) {
+    auto& x = data[static_cast<std::size_t>(i)];
+    x = f(std::move(x));
+  });
+}
+
+/// acc = combine(acc, in[i]) over all i, associatively in parallel.
+template <typename T, typename Acc, typename Combine>
+Acc reduce(parallel_for& pf, std::span<const T> in, Acc init, Combine&& combine,
+           std::int64_t grain = 0) {
+  return pf.reduce(
+      0, static_cast<std::int64_t>(in.size()), grain, init,
+      [&](std::int64_t i) -> const T& { return in[static_cast<std::size_t>(i)]; },
+      combine);
+}
+
+/// Fused map+reduce: acc = combine(acc, f(in[i])).
+template <typename T, typename Acc, typename F, typename Combine>
+Acc map_reduce(parallel_for& pf, std::span<const T> in, Acc init, F&& f,
+               Combine&& combine, std::int64_t grain = 0) {
+  return pf.reduce(
+      0, static_cast<std::int64_t>(in.size()), grain, init,
+      [&](std::int64_t i) { return f(in[static_cast<std::size_t>(i)]); }, combine);
+}
+
+}  // namespace ff

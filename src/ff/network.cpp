@@ -1,0 +1,58 @@
+#include "ff/network.hpp"
+
+#include "util/check.hpp"
+
+namespace ff {
+
+network::~network() {
+  // Join any threads still running so node destructors never race the loop.
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+}
+
+node* network::add(std::unique_ptr<node> n) {
+  util::expects(!started_, "cannot add nodes after run()");
+  util::expects(n != nullptr, "null node");
+  n->owner_ = this;
+  nodes_.push_back(std::move(n));
+  return nodes_.back().get();
+}
+
+channel* network::connect(node* from, node* to, std::size_t capacity, edge_kind kind) {
+  util::expects(!started_, "cannot connect after run()");
+  util::expects(from != nullptr && to != nullptr, "connect requires two nodes");
+  channels_.push_back(std::make_unique<channel>(capacity, kind));
+  channel* c = channels_.back().get();
+  from->add_output(c, kind);
+  to->add_input(c);
+  return c;
+}
+
+void network::run() {
+  util::expects(!started_, "network already running");
+  started_ = true;
+  threads_.reserve(nodes_.size());
+  for (auto& n : nodes_) {
+    threads_.emplace_back([raw = n.get()] { raw->run_loop(); });
+  }
+}
+
+void network::wait() {
+  util::expects(started_, "network not started");
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+  std::exception_ptr err;
+  {
+    std::lock_guard lock(err_mutex_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void network::record_exception(std::exception_ptr e) {
+  std::lock_guard lock(err_mutex_);
+  if (!first_error_) first_error_ = e;
+}
+
+}  // namespace ff

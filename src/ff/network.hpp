@@ -1,0 +1,78 @@
+// The node graph and its threaded executor.
+//
+// A network owns nodes and channels. Patterns (pipeline, farm) are builders
+// that add nodes/edges to a network and expose their ingress/egress nodes so
+// patterns compose (a farm can be a pipeline stage, etc.). run() spawns one
+// thread per node; wait() joins them and rethrows the first exception that
+// escaped a node, so failures in worker threads are not silently lost.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ff/channel.hpp"
+#include "ff/node.hpp"
+
+namespace ff {
+
+/// Default capacity for bounded inter-node channels.
+inline constexpr std::size_t default_channel_capacity = 512;
+
+class network {
+ public:
+  network() = default;
+  network(const network&) = delete;
+  network& operator=(const network&) = delete;
+  ~network();
+
+  /// Transfer ownership of a node into the network; returns a non-owning
+  /// handle valid for the network's lifetime.
+  node* add(std::unique_ptr<node> n);
+
+  /// Convenience: construct the node in place.
+  template <typename N, typename... Args>
+  N* emplace(Args&&... args) {
+    auto owned = std::make_unique<N>(std::forward<Args>(args)...);
+    N* raw = owned.get();
+    add(std::move(owned));
+    return raw;
+  }
+
+  /// Connect `from` -> `to` with a channel of the given capacity
+  /// (0 = unbounded). Feedback edges are excluded from EOS accounting.
+  channel* connect(node* from, node* to, std::size_t capacity = default_channel_capacity,
+                   edge_kind kind = edge_kind::normal);
+
+  /// Spawn one thread per node. May be called once.
+  void run();
+
+  /// Join all node threads; rethrows the first captured node exception.
+  void wait();
+
+  /// run() + wait().
+  void run_and_wait() {
+    run();
+    wait();
+  }
+
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+
+ private:
+  friend class node;
+
+  void record_exception(std::exception_ptr e);
+
+  std::vector<std::unique_ptr<node>> nodes_;
+  std::vector<std::unique_ptr<channel>> channels_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+
+  std::mutex err_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace ff

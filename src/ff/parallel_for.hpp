@@ -1,0 +1,84 @@
+// High-level data-parallel patterns (FastFlow "high-level patterns" layer):
+// a persistent worker pool exposing parallel_for / parallel_reduce with
+// static or dynamic (grain-based work-stealing-by-counter) scheduling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ff {
+
+class parallel_for {
+ public:
+  /// A pool of `nworkers` threads (>=1). The calling thread also works, so
+  /// nworkers counts total parallelism.
+  explicit parallel_for(unsigned nworkers);
+  ~parallel_for();
+
+  parallel_for(const parallel_for&) = delete;
+  parallel_for& operator=(const parallel_for&) = delete;
+
+  unsigned workers() const noexcept { return nworkers_; }
+
+  /// Execute body(i) for every i in [begin, end). `grain` is the dynamic
+  /// chunk size (0 = auto: range / (8 * workers), at least 1).
+  void for_each(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                const std::function<void(std::int64_t)>& body);
+
+  /// Execute body(lo, hi) over disjoint chunks covering [begin, end).
+  void for_each_chunk(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                      const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  /// Parallel reduction: acc = combine(acc, map(i)) over [begin, end) with
+  /// per-worker partials combined in index order (deterministic for
+  /// commutative-and-associative combine over doubles up to partial order).
+  template <typename T, typename Map, typename Combine>
+  T reduce(std::int64_t begin, std::int64_t end, std::int64_t grain, T init,
+           Map&& map, Combine&& combine) {
+    std::vector<T> partial(nworkers_ + 1, init);
+    std::mutex m;  // protects nothing hot: each worker owns one slot
+    for_each_chunk(begin, end, grain,
+                   [&](std::int64_t lo, std::int64_t hi) {
+                     T local = init;
+                     for (std::int64_t i = lo; i < hi; ++i)
+                       local = combine(local, map(i));
+                     const unsigned slot = worker_slot();
+                     std::lock_guard lk(m);
+                     partial[slot] = combine(partial[slot], local);
+                   });
+    T acc = init;
+    for (const T& p : partial) acc = combine(acc, p);
+    return acc;
+  }
+
+ private:
+  struct job {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int64_t grain = 1;
+    const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+    std::atomic<std::int64_t> cursor{0};
+    std::atomic<unsigned> running{0};
+  };
+
+  void worker_main(unsigned id);
+  void work_on(job& j);
+  static unsigned worker_slot() noexcept;
+
+  unsigned nworkers_;
+  std::vector<std::thread> pool_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  job* current_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace ff

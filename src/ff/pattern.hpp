@@ -1,0 +1,44 @@
+// Composable parallel patterns (FastFlow "core patterns" layer).
+//
+// A pattern is a builder: materialize() adds its nodes and internal edges to
+// a network and reports its boundary nodes, so patterns nest (a farm can be
+// a pipeline stage, a pipeline can be a farm worker, ...).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ff/network.hpp"
+#include "ff/node.hpp"
+
+namespace ff {
+
+/// Boundary nodes of a materialized pattern.
+struct ports {
+  std::vector<node*> in;   ///< nodes that receive the pattern's input stream
+  std::vector<node*> out;  ///< nodes that emit the pattern's output stream
+};
+
+class pattern {
+ public:
+  virtual ~pattern() = default;
+
+  /// Add this pattern's nodes and internal edges to `net`. May be called
+  /// once; the pattern transfers node ownership to the network.
+  virtual ports materialize(network& net) = 0;
+};
+
+/// Wrap a single node as a (degenerate) pattern.
+class node_stage final : public pattern {
+ public:
+  explicit node_stage(std::unique_ptr<node> n) : n_(std::move(n)) {}
+  ports materialize(network& net) override {
+    node* raw = net.add(std::move(n_));
+    return {{raw}, {raw}};
+  }
+
+ private:
+  std::unique_ptr<node> n_;
+};
+
+}  // namespace ff

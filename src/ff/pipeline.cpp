@@ -1,0 +1,44 @@
+#include "ff/pipeline.hpp"
+
+#include "util/check.hpp"
+
+namespace ff {
+
+pipeline& pipeline::add_stage(std::unique_ptr<node> n) {
+  stages_.push_back(std::make_unique<node_stage>(std::move(n)));
+  return *this;
+}
+
+pipeline& pipeline::add_stage(std::unique_ptr<pattern> p) {
+  util::expects(p != nullptr, "null pipeline stage");
+  stages_.push_back(std::move(p));
+  return *this;
+}
+
+ports pipeline::materialize(network& net) {
+  util::expects(!stages_.empty(), "pipeline needs at least one stage");
+  ports first;
+  ports prev;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    ports cur = stages_[i]->materialize(net);
+    util::expects(!cur.in.empty() && !cur.out.empty(), "stage with empty ports");
+    if (i == 0) {
+      first = cur;
+    } else {
+      // Full bipartite wiring; the common 1-to-1 / 1-to-N / N-to-1 cases are
+      // just degenerate meshes. Each sender's out_policy governs routing.
+      for (node* from : prev.out)
+        for (node* to : cur.in) net.connect(from, to, channel_capacity_);
+    }
+    prev = cur;
+  }
+  return {first.in, prev.out};
+}
+
+void pipeline::run_and_wait() {
+  network net;
+  materialize(net);
+  net.run_and_wait();
+}
+
+}  // namespace ff

@@ -1,0 +1,41 @@
+// The pipeline core pattern: stages connected stage[i] -> stage[i+1] by
+// streaming channels. Stages are nodes or nested patterns (farms, ...).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ff/pattern.hpp"
+
+namespace ff {
+
+class pipeline final : public pattern {
+ public:
+  pipeline() = default;
+
+  /// Append a node as the next stage.
+  pipeline& add_stage(std::unique_ptr<node> n);
+
+  /// Append a nested pattern (e.g. a farm) as the next stage.
+  pipeline& add_stage(std::unique_ptr<pattern> p);
+
+  /// Capacity for the channels created between stages (0 = unbounded).
+  pipeline& set_channel_capacity(std::size_t cap) noexcept {
+    channel_capacity_ = cap;
+    return *this;
+  }
+
+  std::size_t num_stages() const noexcept { return stages_.size(); }
+
+  ports materialize(network& net) override;
+
+  /// Build into a private network and execute to completion.
+  /// Rethrows the first exception raised inside any stage.
+  void run_and_wait();
+
+ private:
+  std::vector<std::unique_ptr<pattern>> stages_;
+  std::size_t channel_capacity_ = default_channel_capacity;
+};
+
+}  // namespace ff

@@ -1,0 +1,109 @@
+// Bounded lock-free Single-Producer/Single-Consumer FIFO ring.
+//
+// This is the FastFlow building block: a Lamport-style circular buffer with
+// acquire/release index synchronisation and producer/consumer-local cached
+// copies of the remote index to avoid cache-line ping-pong (FastFlow's
+// "SWSR buffer"). One thread may push, one thread may pop; no locks, no CAS.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ff {
+
+// Pinned rather than std::hardware_destructive_interference_size so the
+// layout is ABI-stable across compiler versions/tuning flags (gcc warns on
+// using the std constant in headers for exactly this reason).
+inline constexpr std::size_t cacheline_size = 64;
+
+template <typename T>
+class spsc_queue {
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "spsc_queue requires nothrow-movable elements");
+
+ public:
+  /// A ring with space for `capacity` elements (one slot is sacrificed to
+  /// distinguish full from empty). Requires capacity >= 1.
+  explicit spsc_queue(std::size_t capacity)
+      : buf_(capacity + 1), mask_unused_(0) {
+    util::expects(capacity >= 1, "spsc_queue capacity must be >= 1");
+  }
+
+  spsc_queue(const spsc_queue&) = delete;
+  spsc_queue& operator=(const spsc_queue&) = delete;
+
+  /// Producer side. Returns false when the ring is full.
+  bool push(T&& v) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = advance(head);
+    if (next == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (next == tail_cache_) return false;  // full
+    }
+    buf_[head] = std::move(v);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  bool push(const T& v) noexcept(std::is_nothrow_copy_assignable_v<T>) {
+    T copy = v;
+    return push(std::move(copy));
+  }
+
+  /// Consumer side. Returns nullopt when the ring is empty.
+  std::optional<T> pop() noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return std::nullopt;  // empty
+    }
+    std::optional<T> out(std::move(buf_[tail]));
+    tail_.store(advance(tail), std::memory_order_release);
+    return out;
+  }
+
+  /// Consumer side: peek without consuming. Pointer valid until next pop().
+  const T* front() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return nullptr;
+    return &buf_[tail];
+  }
+
+  bool empty() const noexcept {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate number of queued elements (exact when called by either
+  /// endpoint thread while the other is quiescent).
+  std::size_t size() const noexcept {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    return h >= t ? h - t : h + buf_.size() - t;
+  }
+
+  std::size_t capacity() const noexcept { return buf_.size() - 1; }
+
+ private:
+  std::size_t advance(std::size_t i) const noexcept {
+    return i + 1 == buf_.size() ? 0 : i + 1;
+  }
+
+  std::vector<T> buf_;
+  [[maybe_unused]] std::size_t mask_unused_;
+
+  // Producer-owned line: write index + cached read index.
+  alignas(cacheline_size) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+  // Consumer-owned line: read index + cached write index.
+  alignas(cacheline_size) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+};
+
+}  // namespace ff

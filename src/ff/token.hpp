@@ -1,0 +1,106 @@
+// Type-erased, move-only message box flowing through ff channels.
+//
+// FastFlow transports raw void* between nodes; we keep the same "one token,
+// any payload" model but make ownership explicit: a token owns its payload
+// (unique_ptr semantics) and carries a type tag so stages can safely
+// down-cast. Control signals (end-of-stream) are tokens too, which keeps the
+// channel protocol uniform.
+#pragma once
+
+#include <memory>
+#include <typeinfo>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ff {
+
+class token {
+ public:
+  /// Empty token (used to tick source nodes).
+  token() noexcept = default;
+
+  token(token&&) noexcept = default;
+  token& operator=(token&&) noexcept = default;
+  token(const token&) = delete;
+  token& operator=(const token&) = delete;
+
+  /// Build a token owning a value of type T.
+  template <typename T, typename... Args>
+  static token make(Args&&... args) {
+    token t;
+    t.box_ = std::make_unique<holder<T>>(std::forward<Args>(args)...);
+    return t;
+  }
+
+  /// Build a token from an existing value.
+  template <typename T>
+  static token of(T value) {
+    return make<std::decay_t<T>>(std::move(value));
+  }
+
+  /// The end-of-stream control token.
+  static token eos() noexcept {
+    token t;
+    t.eos_ = true;
+    return t;
+  }
+
+  bool is_eos() const noexcept { return eos_; }
+  bool empty() const noexcept { return !eos_ && box_ == nullptr; }
+  bool has_value() const noexcept { return box_ != nullptr; }
+
+  /// True when the payload is exactly of type T.
+  template <typename T>
+  bool holds() const noexcept {
+    return box_ != nullptr && box_->type() == typeid(T);
+  }
+
+  /// Access the payload as T. Throws when empty or of another type.
+  template <typename T>
+  T& as() {
+    util::expects(holds<T>(), "token payload type mismatch");
+    return static_cast<holder<T>*>(box_.get())->value;
+  }
+
+  template <typename T>
+  const T& as() const {
+    util::expects(holds<T>(), "token payload type mismatch");
+    return static_cast<const holder<T>*>(box_.get())->value;
+  }
+
+  /// Access the payload as T, or nullptr when it is another type.
+  template <typename T>
+  T* try_as() noexcept {
+    if (!holds<T>()) return nullptr;
+    return &static_cast<holder<T>*>(box_.get())->value;
+  }
+
+  /// Move the payload out; the token becomes empty.
+  template <typename T>
+  T take() {
+    util::expects(holds<T>(), "token payload type mismatch");
+    T out = std::move(static_cast<holder<T>*>(box_.get())->value);
+    box_.reset();
+    return out;
+  }
+
+ private:
+  struct holder_base {
+    virtual ~holder_base() = default;
+    virtual const std::type_info& type() const noexcept = 0;
+  };
+
+  template <typename T>
+  struct holder final : holder_base {
+    template <typename... Args>
+    explicit holder(Args&&... args) : value(std::forward<Args>(args)...) {}
+    const std::type_info& type() const noexcept override { return typeid(T); }
+    T value;
+  };
+
+  std::unique_ptr<holder_base> box_;
+  bool eos_ = false;
+};
+
+}  // namespace ff

@@ -1,0 +1,116 @@
+// Unbounded lock-free SPSC FIFO: a linked list of bounded SPSC rings with a
+// consumer-side segment cache, after Aldinucci et al., "An efficient
+// unbounded lock-free queue for multi-core systems" (Euro-Par 2012).
+//
+// push() never fails: when the producer's current segment fills up it links
+// a fresh segment (reusing one recycled by the consumer when available).
+// pop() drains the head segment, then hops to the next and recycles the
+// empty one back to the producer through a second small SPSC ring — so in
+// steady state no allocation happens at all.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "ff/spsc_queue.hpp"
+
+namespace ff {
+
+template <typename T>
+class uspsc_queue {
+ public:
+  /// `segment_capacity` is the size of each internal ring; `cache_segments`
+  /// bounds how many empty segments the consumer keeps for reuse.
+  explicit uspsc_queue(std::size_t segment_capacity = 1024,
+                       std::size_t cache_segments = 8)
+      : segment_capacity_(segment_capacity), recycled_(cache_segments) {
+    util::expects(segment_capacity >= 1, "segment capacity must be >= 1");
+    auto* seg = new segment(segment_capacity_);
+    head_seg_ = seg;
+    tail_seg_ = seg;
+  }
+
+  uspsc_queue(const uspsc_queue&) = delete;
+  uspsc_queue& operator=(const uspsc_queue&) = delete;
+
+  ~uspsc_queue() {
+    segment* s = tail_seg_.load(std::memory_order_relaxed);
+    while (s != nullptr) {
+      segment* next = s->next.load(std::memory_order_relaxed);
+      delete s;
+      s = next;
+    }
+    while (auto seg = recycled_.pop()) delete *seg;
+  }
+
+  /// Producer side; always succeeds.
+  void push(T&& v) {
+    segment* seg = head_seg_;
+    if (!seg->ring.push(std::move(v))) {
+      segment* fresh = take_recycled();
+      if (fresh == nullptr) fresh = new segment(segment_capacity_);
+      // The fresh ring is empty, push cannot fail.
+      fresh->ring.push(std::move(v));
+      seg->next.store(fresh, std::memory_order_release);
+      head_seg_ = fresh;
+    }
+  }
+
+  void push(const T& v) {
+    T copy = v;
+    push(std::move(copy));
+  }
+
+  /// Consumer side. Returns nullopt when the queue is empty.
+  std::optional<T> pop() {
+    segment* seg = tail_seg_.load(std::memory_order_relaxed);
+    if (auto v = seg->ring.pop()) return v;
+    // Head segment drained; if a successor exists the producer has moved on
+    // and will never push here again, so the segment can be recycled.
+    segment* next = seg->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    // Drain-check once more: the producer finished the segment before
+    // linking the next one, so the ring really is empty here.
+    if (auto v = seg->ring.pop()) return v;
+    tail_seg_.store(next, std::memory_order_relaxed);
+    recycle(seg);
+    return next->ring.pop();
+  }
+
+  bool empty() const noexcept {
+    segment* seg = tail_seg_.load(std::memory_order_acquire);
+    if (!seg->ring.empty()) return false;
+    segment* next = seg->next.load(std::memory_order_acquire);
+    return next == nullptr || next->ring.empty();
+  }
+
+ private:
+  struct segment {
+    explicit segment(std::size_t cap) : ring(cap) {}
+    spsc_queue<T> ring;
+    std::atomic<segment*> next{nullptr};
+  };
+
+  segment* take_recycled() {
+    auto seg = recycled_.pop();
+    if (!seg) return nullptr;
+    (*seg)->next.store(nullptr, std::memory_order_relaxed);
+    return *seg;
+  }
+
+  void recycle(segment* seg) {
+    if (!recycled_.push(std::move(seg))) delete seg;
+  }
+
+  std::size_t segment_capacity_;
+  // Producer-owned current segment.
+  alignas(cacheline_size) segment* head_seg_;
+  // Consumer-owned current segment.
+  alignas(cacheline_size) std::atomic<segment*> tail_seg_;
+  // Consumer -> producer recycling channel (consumer pushes, producer pops).
+  spsc_queue<segment*> recycled_;
+};
+
+}  // namespace ff

@@ -1,0 +1,5 @@
+// Umbrella header for the model library.
+#pragma once
+
+#include "models/neurospora.hpp"
+#include "models/toy.hpp"

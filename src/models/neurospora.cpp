@@ -1,0 +1,134 @@
+#include "models/neurospora.hpp"
+
+#include <cmath>
+
+namespace models {
+
+using cwc::comp_pattern;
+using cwc::rate_law;
+using cwc::rule;
+
+cwc::model make_neurospora_cwc(const neurospora_params& p) {
+  cwc::model m;
+  const auto M = m.declare_species("M");
+  const auto FC = m.declare_species("FC");
+  const auto FN = m.declare_species("FN");
+  const auto cell = m.declare_compartment_type("cell");
+  const auto nucleus = m.declare_compartment_type("nucleus");
+
+  const double omega = p.omega;
+  auto count = [omega](double conc) {
+    return static_cast<std::uint64_t>(std::llround(conc * omega));
+  };
+
+  // (top | (cell: | M FC (nucleus: | FN)))
+  auto nuc = std::make_unique<cwc::compartment>(nucleus);
+  nuc->content().add(FN, count(p.fn0));
+  auto cel = std::make_unique<cwc::compartment>(cell);
+  cel->content().add(M, count(p.m0));
+  cel->content().add(FC, count(p.fc0));
+  cel->add_child(std::move(nuc));
+  auto root = std::make_unique<cwc::term>(cwc::top_compartment);
+  root->add_child(std::move(cel));
+  m.set_initial(std::move(root));
+
+  // Transcription, repressed by nuclear FRQ (reads the bound child):
+  //   cell: (nucleus|) -> (nucleus|) + M  @ hill_rep(vs*omega, ki*omega, n, FN@child)
+  {
+    rule r("transcription", cell,
+           rate_law::hill_repression(p.vs * omega, p.ki * omega, p.hill_n, FN,
+                                     /*driver_in_child=*/true));
+    r.match_child(comp_pattern{nucleus, {}, {}});
+    r.produce(M);
+    m.add_rule(std::move(r));
+  }
+  // mRNA degradation (Michaelis-Menten):  cell: M -> 0
+  {
+    rule r("mRNA-degradation", cell,
+           rate_law::michaelis_menten(p.vm * omega, p.km * omega, M));
+    r.consume(M);
+    m.add_rule(std::move(r));
+  }
+  // Translation:  cell: M -> M + FC  @ ks (per mRNA copy)
+  {
+    rule r("translation", cell, rate_law::mass_action(p.ks));
+    r.consume(M);
+    r.produce(M);
+    r.produce(FC);
+    m.add_rule(std::move(r));
+  }
+  // FRQ degradation (Michaelis-Menten):  cell: FC -> 0
+  {
+    rule r("FRQ-degradation", cell,
+           rate_law::michaelis_menten(p.vd * omega, p.kd * omega, FC));
+    r.consume(FC);
+    m.add_rule(std::move(r));
+  }
+  // Nuclear import:  cell: FC + (nucleus|) -> (nucleus| FN)  @ k1
+  {
+    rule r("nuclear-import", cell, rate_law::mass_action(p.k1));
+    r.consume(FC);
+    r.match_child(comp_pattern{nucleus, {}, {}});
+    r.produce_in_child(FN);
+    m.add_rule(std::move(r));
+  }
+  // Nuclear export:  cell: (nucleus| FN) -> FC + (nucleus|)  @ k2
+  {
+    rule r("nuclear-export", cell, rate_law::mass_action(p.k2));
+    r.match_child(comp_pattern{nucleus, {}, {}});
+    r.consume_from_child(FN);
+    r.produce(FC);
+    m.add_rule(std::move(r));
+  }
+
+  m.add_observable("M", M, std::nullopt);
+  m.add_observable("FC", FC, std::nullopt);
+  m.add_observable("FN", FN, std::nullopt);
+  return m;
+}
+
+cwc::reaction_network make_neurospora_flat(const neurospora_params& p) {
+  cwc::reaction_network net;
+  const auto M = net.declare_species("M");
+  const auto FC = net.declare_species("FC");
+  const auto FN = net.declare_species("FN");
+
+  const double omega = p.omega;
+  auto count = [omega](double conc) {
+    return static_cast<std::uint64_t>(std::llround(conc * omega));
+  };
+  net.set_initial(M, count(p.m0));
+  net.set_initial(FC, count(p.fc0));
+  net.set_initial(FN, count(p.fn0));
+
+  net.add_reaction("transcription", {}, {{M, 1}},
+                   rate_law::hill_repression(p.vs * omega, p.ki * omega, p.hill_n,
+                                             FN));
+  net.add_reaction("mRNA-degradation", {{M, 1}}, {},
+                   rate_law::michaelis_menten(p.vm * omega, p.km * omega, M));
+  net.add_reaction("translation", {{M, 1}}, {{M, 1}, {FC, 1}},
+                   rate_law::mass_action(p.ks));
+  net.add_reaction("FRQ-degradation", {{FC, 1}}, {},
+                   rate_law::michaelis_menten(p.vd * omega, p.kd * omega, FC));
+  net.add_reaction("nuclear-import", {{FC, 1}}, {{FN, 1}},
+                   rate_law::mass_action(p.k1));
+  net.add_reaction("nuclear-export", {{FN, 1}}, {{FC, 1}},
+                   rate_law::mass_action(p.k2));
+  return net;
+}
+
+std::pair<cwc::deriv_fn, std::vector<double>> make_neurospora_ode(
+    const neurospora_params& p) {
+  cwc::deriv_fn f = [p](double /*t*/, std::span<const double> y,
+                        std::span<double> dydt) {
+    const double m = y[0], fc = y[1], fn = y[2];
+    const double kin = std::pow(p.ki, p.hill_n);
+    dydt[0] = p.vs * kin / (kin + std::pow(fn, p.hill_n)) -
+              p.vm * m / (p.km + m);
+    dydt[1] = p.ks * m - p.vd * fc / (p.kd + fc) - p.k1 * fc + p.k2 * fn;
+    dydt[2] = p.k1 * fc - p.k2 * fn;
+  };
+  return {std::move(f), {p.m0, p.fc0, p.fn0}};
+}
+
+}  // namespace models

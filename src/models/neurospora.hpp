@@ -1,0 +1,63 @@
+// The paper's evaluation workload: circadian oscillations driven by
+// transcriptional regulation of the frequency (frq) gene in Neurospora
+// crassa, after Leloup, Gonze & Goldbeter, J. Biol. Rhythms 14(6), 1999 —
+// the model cited by the paper ([20]).
+//
+// Species: frq mRNA (M), cytosolic FRQ protein (FC), nuclear FRQ (FN).
+// FN represses frq transcription (negative feedback, Hill exponent 4),
+// producing a ~21.5 h limit cycle in the deterministic model.
+//
+// Three synchronized forms are provided:
+//  - CWC term model (cell compartment wrapping a nucleus; transport rules
+//    move FRQ across the nuclear membrane) — what the CWC simulator runs;
+//  - flat reaction network (for baseline engines and cross-validation);
+//  - deterministic ODE right-hand side (for reference dynamics).
+//
+// Stochastic conversion uses system size `omega` (molecules per nM):
+// counts x = omega * concentration; Hill/MM parameters scale accordingly.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "cwc/cwc.hpp"
+
+namespace models {
+
+struct neurospora_params {
+  // Leloup-Gonze-Goldbeter 1999, Neurospora parameter set (units: nM, h).
+  double vs = 1.6;    ///< maximal transcription rate (nM/h)
+  double vm = 0.505;  ///< maximal mRNA degradation rate (nM/h)
+  double km = 0.5;    ///< mRNA degradation Michaelis constant (nM)
+  double ks = 0.5;    ///< translation rate (1/h)
+  double vd = 1.4;    ///< maximal FRQ degradation rate (nM/h)
+  double kd = 0.13;   ///< FRQ degradation Michaelis constant (nM)
+  double k1 = 0.5;    ///< cytosol -> nucleus transport (1/h)
+  double k2 = 0.6;    ///< nucleus -> cytosol transport (1/h)
+  double ki = 1.0;    ///< repression threshold (nM)
+  double hill_n = 4.0;
+
+  double m0 = 0.1;   ///< initial [M] (nM)
+  double fc0 = 0.1;  ///< initial [FC] (nM)
+  double fn0 = 0.1;  ///< initial [FN] (nM)
+
+  /// System size: molecules per nM of concentration.
+  double omega = 100.0;
+};
+
+/// Names of the three observables, in the order the models register them.
+inline constexpr const char* neurospora_observables[] = {"M", "FC", "FN"};
+
+/// CWC model: top contains a `cell` compartment holding M and FC, which in
+/// turn wraps a `nucleus` compartment holding FN.
+cwc::model make_neurospora_cwc(const neurospora_params& p = {});
+
+/// Flat network over species {M, FC, FN} with identical kinetics.
+cwc::reaction_network make_neurospora_flat(const neurospora_params& p = {});
+
+/// Deterministic ODE (concentration space, nM): returns the derivative
+/// function and the initial state {M, FC, FN}.
+std::pair<cwc::deriv_fn, std::vector<double>> make_neurospora_ode(
+    const neurospora_params& p = {});
+
+}  // namespace models

@@ -1,0 +1,117 @@
+#include "models/toy.hpp"
+
+namespace models {
+
+using cwc::rate_law;
+
+cwc::reaction_network make_birth_death(const birth_death_params& p) {
+  cwc::reaction_network net;
+  const auto X = net.declare_species("X");
+  net.set_initial(X, p.x0);
+  net.add_reaction("birth", {}, {{X, 1}}, rate_law::mass_action(p.lambda));
+  net.add_reaction("death", {{X, 1}}, {}, rate_law::mass_action(p.mu));
+  return net;
+}
+
+cwc::reaction_network make_lotka_volterra(const lotka_volterra_params& p) {
+  cwc::reaction_network net;
+  const auto X = net.declare_species("prey");
+  const auto Y = net.declare_species("predator");
+  net.set_initial(X, p.prey0);
+  net.set_initial(Y, p.pred0);
+  net.add_reaction("prey-birth", {{X, 1}}, {{X, 2}}, rate_law::mass_action(p.birth));
+  net.add_reaction("predation", {{X, 1}, {Y, 1}}, {{Y, 2}},
+                   rate_law::mass_action(p.predation));
+  net.add_reaction("predator-death", {{Y, 1}}, {}, rate_law::mass_action(p.death));
+  return net;
+}
+
+cwc::reaction_network make_schlogl(const schlogl_params& p) {
+  cwc::reaction_network net;
+  const auto X = net.declare_species("X");
+  net.set_initial(X, p.x0);
+  net.add_reaction("autocatalysis", {{X, 2}}, {{X, 3}}, rate_law::mass_action(p.c1));
+  net.add_reaction("reverse", {{X, 3}}, {{X, 2}}, rate_law::mass_action(p.c2));
+  net.add_reaction("inflow", {}, {{X, 1}}, rate_law::mass_action(p.c3));
+  net.add_reaction("outflow", {{X, 1}}, {}, rate_law::mass_action(p.c4));
+  return net;
+}
+
+cwc::reaction_network make_michaelis_menten(const michaelis_menten_params& p) {
+  cwc::reaction_network net;
+  const auto E = net.declare_species("E");
+  const auto S = net.declare_species("S");
+  const auto ES = net.declare_species("ES");
+  const auto P = net.declare_species("P");
+  net.set_initial(E, p.e0);
+  net.set_initial(S, p.s0);
+  net.add_reaction("bind", {{E, 1}, {S, 1}}, {{ES, 1}}, rate_law::mass_action(p.kf));
+  net.add_reaction("unbind", {{ES, 1}}, {{E, 1}, {S, 1}},
+                   rate_law::mass_action(p.kr));
+  net.add_reaction("catalyse", {{ES, 1}}, {{E, 1}, {P, 1}},
+                   rate_law::mass_action(p.kcat));
+  return net;
+}
+
+cwc::reaction_network make_sir(const sir_params& p) {
+  cwc::reaction_network net;
+  const auto S = net.declare_species("S");
+  const auto I = net.declare_species("I");
+  const auto R = net.declare_species("R");
+  net.set_initial(S, p.s0);
+  net.set_initial(I, p.i0);
+  const double n = static_cast<double>(p.s0 + p.i0);
+  net.add_reaction("infect", {{S, 1}, {I, 1}}, {{I, 2}},
+                   rate_law::mass_action(p.beta / n));
+  net.add_reaction("recover", {{I, 1}}, {{R, 1}}, rate_law::mass_action(p.gamma));
+  return net;
+}
+
+cwc::model make_compartment_demo(const compartment_demo_params& p) {
+  cwc::model m;
+  const auto A = m.declare_species("A");
+  const auto B = m.declare_species("B");
+  const auto C = m.declare_species("C");
+  const auto membrane = m.declare_species("m");
+  const auto vesicle = m.declare_compartment_type("vesicle");
+
+  auto root = std::make_unique<cwc::term>(cwc::top_compartment);
+  root->content().add(A, p.a0);
+  m.set_initial(std::move(root));
+
+  {  // 2*A -> (vesicle: m | B)
+    cwc::rule r("form", cwc::top_compartment, rate_law::mass_action(p.k_form));
+    r.consume(A, 2);
+    cwc::comp_product prod;
+    prod.type = vesicle;
+    prod.wrap.add(membrane);
+    prod.content.add(B);
+    r.create_compartment(std::move(prod));
+    m.add_rule(std::move(r));
+  }
+  {  // vesicle: B -> 2*B
+    cwc::rule r("grow", vesicle, rate_law::mass_action(p.k_grow));
+    r.consume(B);
+    r.produce(B, 2);
+    m.add_rule(std::move(r));
+  }
+  {  // top: (vesicle: m | 4*B) -> 4*C, remaining content released
+    cwc::rule r("burst", cwc::top_compartment, rate_law::mass_action(p.k_burst));
+    cwc::comp_pattern pat;
+    pat.type = vesicle;
+    pat.wrap_req.add(membrane);
+    pat.content_req.add(B, 4);
+    r.match_child(std::move(pat));
+    r.produce(C, 4);
+    r.set_child_fate(cwc::child_fate::dissolve);
+    m.add_rule(std::move(r));
+  }
+
+  m.add_observable("A", A, std::nullopt);
+  m.add_observable("B", B, std::nullopt);
+  m.add_observable("C", C, std::nullopt);
+  m.add_observable("B-in-vesicles", B, vesicle);
+  return m;
+}
+
+}  // namespace models

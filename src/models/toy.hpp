@@ -1,0 +1,75 @@
+// Classic small stochastic models used throughout tests, examples, and
+// engine micro-benchmarks. Each returns a flat reaction network; the CWC
+// compartment-demo model exercises compartment creation/growth/dissolution.
+#pragma once
+
+#include "cwc/cwc.hpp"
+
+namespace models {
+
+/// Birth-death: 0 -> X @ lambda, X -> 0 @ mu*X.
+/// Stationary distribution is Poisson(lambda/mu) — analytic ground truth
+/// for the statistical test suite.
+struct birth_death_params {
+  double lambda = 50.0;
+  double mu = 1.0;
+  std::uint64_t x0 = 0;
+};
+cwc::reaction_network make_birth_death(const birth_death_params& p = {});
+
+/// Lotka-Volterra predator-prey: heavily unbalanced trajectory runtimes
+/// (extinctions vs long oscillations) — the load-imbalance workload.
+struct lotka_volterra_params {
+  double birth = 1.0;        ///< X -> 2X
+  double predation = 0.005;  ///< X + Y -> 2Y
+  double death = 0.6;        ///< Y -> 0
+  std::uint64_t prey0 = 200;
+  std::uint64_t pred0 = 80;
+};
+cwc::reaction_network make_lotka_volterra(const lotka_volterra_params& p = {});
+
+/// Schlogl bistable system: trajectories settle near one of two macroscopic
+/// states — the k-means-over-trajectories workload.
+struct schlogl_params {
+  double c1 = 3e-2;   ///< 2X -> 3X (A folded in)
+  double c2 = 1e-4;   ///< 3X -> 2X
+  double c3 = 200.0;  ///< 0 -> X (B folded in)
+  double c4 = 3.5;    ///< X -> 0
+  std::uint64_t x0 = 250;
+};
+cwc::reaction_network make_schlogl(const schlogl_params& p = {});
+
+/// Michaelis-Menten enzyme kinetics, full elementary form:
+/// E + S <-> ES -> E + P.
+struct michaelis_menten_params {
+  double kf = 0.01;
+  double kr = 1.0;
+  double kcat = 1.0;
+  std::uint64_t e0 = 100;
+  std::uint64_t s0 = 1000;
+};
+cwc::reaction_network make_michaelis_menten(const michaelis_menten_params& p = {});
+
+/// SIR epidemic: S + I -> 2I @ beta/N, I -> R @ gamma.
+struct sir_params {
+  double beta = 0.3;
+  double gamma = 0.1;
+  std::uint64_t s0 = 990;
+  std::uint64_t i0 = 10;
+};
+cwc::reaction_network make_sir(const sir_params& p = {});
+
+/// CWC-specific demo exercising the full compartment semantics:
+///   top:      2*A -> (vesicle: m | B)         @ k_form   (creation)
+///   vesicle:  B -> 2*B                        @ k_grow   (growth inside)
+///   top:      (vesicle: m | 4*B) -> 4*C + !dissolve @ k_burst (dissolution)
+/// Observables: A, B, C, plus B restricted to vesicles.
+struct compartment_demo_params {
+  double k_form = 0.01;
+  double k_grow = 1.0;
+  double k_burst = 0.5;
+  std::uint64_t a0 = 100;
+};
+cwc::model make_compartment_demo(const compartment_demo_params& p = {});
+
+}  // namespace models

@@ -1,0 +1,55 @@
+// Kernel-granularity SIMT scheduling model, plus the data-parallel map
+// primitive mirroring FastFlow's ff_mapCUDA: execute a kernel body per
+// element on the host while accounting the virtual device makespan.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simt/device.hpp"
+
+namespace simt {
+
+struct kernel_stats {
+  double device_seconds = 0.0;  ///< kernel makespan (launch included)
+  double busy_lane_seconds = 0.0;
+  double busy_warp_seconds = 0.0;  ///< warp-slot occupancy (divergence incl.)
+  std::uint32_t warps = 0;
+  std::uint32_t warp_size = 32;
+  /// Divergence overhead in [1, warp_size]: how much longer warps run than
+  /// they would if every lane finished simultaneously. 1.0 = no divergence.
+  double divergence_factor() const noexcept {
+    return busy_lane_seconds > 0.0
+               ? busy_warp_seconds * warp_size / busy_lane_seconds
+               : 1.0;
+  }
+};
+
+/// Virtual makespan of one kernel whose per-lane execution times are given,
+/// lanes packed into warps in index order, warps list-scheduled onto the
+/// device's concurrent warp slots in order (no preemption) — CUDA block
+/// scheduling at warp granularity.
+///
+/// `path_divergence` in [0,1] models intra-warp instruction-path
+/// serialisation (SIMT lanes executing different rule sequences): a warp's
+/// time interpolates between its slowest lane (0, lockstep) and the sum of
+/// its lanes (1, fully serialised). For SSA kernels this grows with the
+/// quantum length as lane phases decohere within the kernel (paper §V-C).
+kernel_stats kernel_makespan(std::span<const double> lane_seconds,
+                             const device_spec& dev,
+                             double path_divergence = 0.0);
+
+/// ff_mapCUDA analogue: run `kernel` over every item (host execution, real
+/// results); kernel returns the lane's virtual seconds. Returns the modeled
+/// device time for the whole map.
+template <typename T, typename Kernel>
+kernel_stats map_kernel(const device_spec& dev, std::span<T> items,
+                        Kernel&& kernel, double path_divergence = 0.0) {
+  std::vector<double> lanes;
+  lanes.reserve(items.size());
+  for (T& item : items) lanes.push_back(kernel(item));
+  return kernel_makespan(lanes, dev, path_divergence);
+}
+
+}  // namespace simt

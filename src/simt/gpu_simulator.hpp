@@ -1,0 +1,43 @@
+// Functional GPU-offload frontend: the CWC simulator with the farm of
+// simulation engines replaced by ff_mapCUDA-style lockstep kernels on the
+// SIMT device model (paper §IV-C). Results are bit-for-bit identical to the
+// multicore simulator for the same configuration — the per-trajectory RNG
+// streams make trajectories independent of where they execute — while the
+// device clock reports modeled GPU time.
+#pragma once
+
+#include "core/cwcsim.hpp"
+#include "simt/device.hpp"
+#include "simt/executor.hpp"
+
+namespace simt {
+
+struct gpu_run_result {
+  cwcsim::simulation_result result;  ///< same shape as the multicore result
+  double device_seconds = 0.0;       ///< modeled kernel time (virtual)
+  double divergence_factor = 1.0;    ///< warp-seconds / lane-seconds
+  std::uint64_t kernels = 0;
+};
+
+class gpu_simulator {
+ public:
+  gpu_simulator(const cwc::model& m, cwcsim::sim_config cfg, device_spec dev);
+  gpu_simulator(const cwc::reaction_network& n, cwcsim::sim_config cfg,
+                device_spec dev);
+
+  /// Path-decoherence time for the divergence model (see simt::gpu_params).
+  void set_coherence_time(double t) noexcept { coherence_time_ = t; }
+
+  /// Execute the whole campaign as a sequence of lockstep kernels and run
+  /// the standard analysis pipeline on the collected cuts.
+  gpu_run_result run();
+
+ private:
+  cwcsim::model_ref model_;
+  cwcsim::sim_config cfg_;
+  device_spec dev_;
+  double ns_per_step_;  ///< calibration for lane-time accounting
+  double coherence_time_ = 25.0;
+};
+
+}  // namespace simt

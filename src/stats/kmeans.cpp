@@ -1,0 +1,115 @@
+#include "stats/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stats {
+
+namespace {
+
+double sqdist(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace
+
+kmeans_result kmeans(const std::vector<std::vector<double>>& points,
+                     std::uint32_t k, std::uint64_t seed,
+                     std::uint32_t max_iterations) {
+  kmeans_result out;
+  if (points.empty() || k == 0) return out;
+  const std::size_t n = points.size();
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points)
+    util::expects(p.size() == dim, "kmeans: ragged point set");
+  k = static_cast<std::uint32_t>(std::min<std::size_t>(k, n));
+
+  util::rng_stream rng(seed, 0x5eedULL);
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.next_below(n)]);
+  std::vector<double> d2(n, 0.0);
+  while (centroids.size() < k) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids) best = std::min(best, sqdist(points[i], c));
+      d2[i] = best;
+      sum += best;
+    }
+    if (sum <= 0.0) {
+      // All remaining points coincide with a centroid; duplicate one.
+      centroids.push_back(points[rng.next_below(n)]);
+      continue;
+    }
+    double target = rng.next_uniform_pos() * sum;
+    std::size_t pick = n - 1;
+    double cum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cum += d2[i];
+      if (cum >= target) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(points[pick]);
+  }
+
+  std::vector<std::uint32_t> assign(n, 0);
+  std::vector<std::uint64_t> sizes(k, 0);
+
+  for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::uint32_t arg = 0;
+      for (std::uint32_t c = 0; c < k; ++c) {
+        const double d = sqdist(points[i], centroids[c]);
+        if (d < best) {
+          best = d;
+          arg = c;
+        }
+      }
+      if (assign[i] != arg) {
+        assign[i] = arg;
+        changed = true;
+      }
+    }
+    out.iterations = iter + 1;
+
+    // Recompute centroids.
+    for (auto& c : centroids) std::fill(c.begin(), c.end(), 0.0);
+    std::fill(sizes.begin(), sizes.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++sizes[assign[i]];
+      for (std::size_t d = 0; d < dim; ++d) centroids[assign[i]][d] += points[i][d];
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (sizes[c] == 0) continue;  // empty cluster keeps its old position
+      for (std::size_t d = 0; d < dim; ++d)
+        centroids[c][d] /= static_cast<double>(sizes[c]);
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  double inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) inertia += sqdist(points[i], centroids[assign[i]]);
+
+  out.centroids = std::move(centroids);
+  out.assignment = std::move(assign);
+  out.sizes = std::move(sizes);
+  out.inertia = inertia;
+  return out;
+}
+
+}  // namespace stats

@@ -1,0 +1,30 @@
+// Lloyd's k-means with k-means++ seeding over small point sets — the
+// "k-means" statistical engine of the analysis pipeline (paper Fig. 2).
+// Applied per trajectory cut, it classifies trajectories into macroscopic
+// states (e.g. the two Schlogl attractors or oscillation phases).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stats {
+
+struct kmeans_result {
+  /// centroids[c] is a D-dimensional centre.
+  std::vector<std::vector<double>> centroids;
+  /// assignment[i] = cluster of point i.
+  std::vector<std::uint32_t> assignment;
+  /// points per cluster.
+  std::vector<std::uint64_t> sizes;
+  /// total within-cluster sum of squared distances.
+  double inertia = 0.0;
+  std::uint32_t iterations = 0;
+};
+
+/// Cluster `points` (each of equal dimension) into k groups.
+/// Deterministic for a given seed. k is clamped to the number of points.
+kmeans_result kmeans(const std::vector<std::vector<double>>& points,
+                     std::uint32_t k, std::uint64_t seed = 0,
+                     std::uint32_t max_iterations = 64);
+
+}  // namespace stats

@@ -1,0 +1,8 @@
+// Umbrella header for the on-line statistics library.
+#pragma once
+
+#include "stats/cut.hpp"
+#include "stats/kmeans.hpp"
+#include "stats/period.hpp"
+#include "stats/quantile.hpp"
+#include "stats/welford.hpp"

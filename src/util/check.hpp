@@ -1,0 +1,32 @@
+// Contract-checking helpers in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations throw, so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace util {
+
+/// Thrown when a precondition check fails.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a postcondition or invariant check fails.
+class postcondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Check a precondition; throws precondition_error when `cond` is false.
+inline void expects(bool cond, const char* what) {
+  if (!cond) throw precondition_error(std::string("precondition violated: ") + what);
+}
+
+/// Check a postcondition/invariant; throws postcondition_error when false.
+inline void ensures(bool cond, const char* what) {
+  if (!cond) throw postcondition_error(std::string("postcondition violated: ") + what);
+}
+
+}  // namespace util

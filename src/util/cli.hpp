@@ -1,0 +1,36 @@
+// Minimal command-line option parser shared by examples and bench harnesses.
+// Supports `--name value` and `--name=value`; unknown options throw so typos
+// in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace util {
+
+class cli {
+ public:
+  cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-option) arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace util

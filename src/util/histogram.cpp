@@ -1,0 +1,81 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace util {
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), inv_width_(0.0), counts_(bins, 0) {
+  expects(lo < hi, "histogram range must be non-empty");
+  expects(bins > 0, "histogram needs at least one bin");
+  inv_width_ = static_cast<double>(bins) / (hi - lo);
+}
+
+void histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) * inv_width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // FP edge guard
+  ++counts_[bin];
+}
+
+void histogram::merge(const histogram& other) {
+  expects(other.lo_ == lo_ && other.hi_ == hi_ && other.counts_.size() == counts_.size(),
+          "histogram merge requires identical binning");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+double histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) / inv_width_;
+}
+
+double histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i + 1) / inv_width_;
+}
+
+double histogram::quantile(double q) const {
+  expects(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return lo_;
+  const double target = q * static_cast<double>(in_range);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string histogram::to_string(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") " << std::string(bar, '#')
+       << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace util

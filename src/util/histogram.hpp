@@ -1,0 +1,53 @@
+// Fixed-bin histogram over a closed range; used by the analysis pipeline to
+// summarise molecular populations across trajectories and by benches to
+// characterise service-time distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace util {
+
+class histogram {
+ public:
+  /// Histogram of `bins` equal-width bins covering [lo, hi).
+  /// Requires lo < hi and bins > 0.
+  histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  /// Merge another histogram with identical binning. Throws on mismatch.
+  void merge(const histogram& other);
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Lower edge of bin `i`.
+  double bin_lo(std::size_t i) const noexcept;
+  /// Upper edge of bin `i`.
+  double bin_hi(std::size_t i) const noexcept;
+
+  /// Approximate quantile q in [0,1] by linear interpolation within bins.
+  double quantile(double q) const;
+
+  /// Multi-line ASCII rendering (for examples / debugging).
+  std::string to_string(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double inv_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace util

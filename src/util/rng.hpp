@@ -1,0 +1,169 @@
+// Counter-based, splittable random number generation for reproducible
+// parallel Monte Carlo.
+//
+// Every trajectory owns an independent stream keyed by (seed, stream id), so
+// simulation results are bit-for-bit identical regardless of how trajectories
+// are scheduled across workers, hosts, or (simulated) GPU lanes. This is the
+// property the multicore == distributed == SIMT equivalence tests rely on.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace util {
+
+/// SplitMix64 — tiny, fast, full-period 64-bit mixer. Used for seeding and
+/// as the stream-splitting function (Steele et al., OOPSLA'14).
+class splitmix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit splitmix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
+/// Seeded through SplitMix64 as its authors recommend.
+class xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit xoshiro256ss(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    splitmix64 sm(seed);
+    for (auto& s : s_) s = sm();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// An independent random stream identified by (global seed, stream id).
+/// Trajectory `i` of a simulation run always draws from stream
+/// (seed, i) — independent of which worker executes it.
+class rng_stream {
+ public:
+  rng_stream() noexcept : rng_(0) {}
+
+  rng_stream(std::uint64_t seed, std::uint64_t stream_id) noexcept
+      : rng_(mix(seed, stream_id)) {}
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64() noexcept { return rng_(); }
+
+  /// Uniform double in (0, 1] — never returns 0, safe for log().
+  double next_uniform_pos() noexcept {
+    // 53 random bits; +1 shifts the support away from zero.
+    const std::uint64_t bits = (rng_() >> 11) + 1;
+    return static_cast<double>(bits) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_uniform() noexcept {
+    return static_cast<double>(rng_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponential with rate `lambda` (mean 1/lambda). Requires lambda > 0.
+  double next_exponential(double lambda) {
+    expects(lambda > 0.0, "exponential rate must be positive");
+    return -std::log(next_uniform_pos()) / lambda;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Lemire-style rejection-free
+  /// approximation is unnecessary here; modulo bias is negligible for the
+  /// small n used in reaction selection, but we still debias for rigor.
+  std::uint64_t next_below(std::uint64_t n) {
+    expects(n > 0, "next_below requires n > 0");
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = rng_();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double next_normal() noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * next_uniform() - 1.0;
+      v = 2.0 * next_uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+  /// Poisson(mean) — inversion for small means, PTRS-lite (normal approx with
+  /// continuity correction) for large means. Adequate for workload synthesis.
+  std::uint64_t next_poisson(double mean) {
+    expects(mean >= 0.0, "poisson mean must be non-negative");
+    if (mean < 30.0) {
+      const double limit = std::exp(-mean);
+      double prod = next_uniform_pos();
+      std::uint64_t n = 0;
+      while (prod > limit) {
+        prod *= next_uniform_pos();
+        ++n;
+      }
+      return n;
+    }
+    const double x = mean + std::sqrt(mean) * next_normal() + 0.5;
+    return x < 0.0 ? 0 : static_cast<std::uint64_t>(x);
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t stream_id) noexcept {
+    // Feed both through SplitMix so that nearby (seed, id) pairs decorrelate.
+    splitmix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+    (void)sm();
+    return sm();
+  }
+
+  xoshiro256ss rng_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace util

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used both for benchmarking and for capturing the
+// per-quantum service-time traces that feed the DES platform models.
+#pragma once
+
+#include <chrono>
+
+namespace util {
+
+class stopwatch {
+ public:
+  stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds since construction or last reset().
+  std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace util

@@ -1,0 +1,31 @@
+// Console table printer used by the bench harnesses to emit paper-style rows
+// (Fig. 3-6 series, Table I) in aligned, copy-paste-friendly form.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace util {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with column alignment; includes a header underline.
+  std::string to_string() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util

@@ -1,0 +1,236 @@
+// Integration tests for the Fig. 2 pipeline: completeness of cuts and
+// windows, scheduler termination, determinism across pipeline shapes, and
+// the individual stage nodes.
+#include <gtest/gtest.h>
+
+#include "core/cwcsim.hpp"
+#include "models/models.hpp"
+
+namespace {
+
+cwcsim::sim_config small_config() {
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = 12;
+  cfg.t_end = 20.0;
+  cfg.sample_period = 0.5;
+  cfg.quantum = 3.0;
+  cfg.sim_workers = 2;
+  cfg.stat_engines = 1;
+  cfg.window_size = 5;
+  cfg.window_slide = 5;
+  cfg.kmeans_k = 2;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+/// Flatten all per-cut summaries in time order.
+std::vector<stats::cut_summary> cuts_of(const cwcsim::simulation_result& r) {
+  return r.all_cuts();
+}
+
+TEST(Pipeline, ProducesEveryCutExactlyOnce) {
+  const auto m = models::make_neurospora_cwc({});
+  const auto cfg = small_config();
+  const auto res = cwcsim::simulate(m, cfg);
+  const auto cuts = cuts_of(res);
+  ASSERT_EQ(cuts.size(), cfg.num_samples());
+  for (std::size_t k = 0; k < cuts.size(); ++k) {
+    EXPECT_EQ(cuts[k].sample_index, k);
+    ASSERT_EQ(cuts[k].moments.size(), 3u);
+    EXPECT_EQ(cuts[k].moments[0].count(), cfg.num_trajectories);
+  }
+}
+
+TEST(Pipeline, CompletionNoticesForEveryTrajectory) {
+  const auto m = models::make_neurospora_cwc({});
+  const auto cfg = small_config();
+  const auto res = cwcsim::simulate(m, cfg);
+  ASSERT_EQ(res.completions.size(), cfg.num_trajectories);
+  std::vector<bool> seen(cfg.num_trajectories, false);
+  for (const auto& d : res.completions) {
+    ASSERT_LT(d.trajectory_id, cfg.num_trajectories);
+    EXPECT_FALSE(seen[d.trajectory_id]) << "duplicate completion";
+    seen[d.trajectory_id] = true;
+    EXPECT_GT(d.quanta, 0u);
+    EXPECT_GT(d.steps, 0u);
+  }
+}
+
+struct shape {
+  unsigned workers;
+  unsigned stats;
+  double quantum;
+  ff::out_policy policy;
+};
+
+class pipeline_shape_test : public ::testing::TestWithParam<shape> {};
+
+TEST_P(pipeline_shape_test, ResultIndependentOfPipelineShape) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  const auto reference = cwcsim::simulate(m, cfg);
+
+  const auto p = GetParam();
+  cfg.sim_workers = p.workers;
+  cfg.stat_engines = p.stats;
+  cfg.quantum = p.quantum;
+  cfg.dispatch = p.policy;
+  const auto res = cwcsim::simulate(m, cfg);
+
+  const auto a = cuts_of(reference);
+  const auto b = cuts_of(res);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    for (std::size_t d = 0; d < a[k].moments.size(); ++d) {
+      ASSERT_DOUBLE_EQ(a[k].moments[d].mean(), b[k].moments[d].mean())
+          << "cut " << k << " dim " << d;
+      ASSERT_DOUBLE_EQ(a[k].moments[d].variance(), b[k].moments[d].variance());
+    }
+    ASSERT_EQ(a[k].medians, b[k].medians);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, pipeline_shape_test,
+    ::testing::Values(shape{1, 1, 3.0, ff::out_policy::on_demand},
+                      shape{4, 1, 3.0, ff::out_policy::on_demand},
+                      shape{3, 2, 3.0, ff::out_policy::round_robin},
+                      shape{2, 3, 1.0, ff::out_policy::on_demand},
+                      shape{5, 2, 10.0, ff::out_policy::on_demand},
+                      shape{2, 1, 20.0, ff::out_policy::round_robin}));
+
+TEST(Pipeline, FlatModelRunsThroughSamePipeline) {
+  const auto net = models::make_lotka_volterra({});
+  auto cfg = small_config();
+  cfg.t_end = 8.0;
+  cfg.kmeans_k = 0;  // no clustering
+  const auto res = cwcsim::simulate(net, cfg);
+  EXPECT_EQ(cuts_of(res).size(), cfg.num_samples());
+}
+
+TEST(Pipeline, WindowsCarryCorrectSpans) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  cfg.window_size = 8;
+  cfg.window_slide = 8;
+  const auto res = cwcsim::simulate(m, cfg);
+  // 41 samples -> 5 full windows of 8 + trailing 1.
+  ASSERT_EQ(res.windows.size(), 6u);
+  for (std::size_t i = 0; i < res.windows.size(); ++i) {
+    EXPECT_EQ(res.windows[i].first_sample, i * 8);
+    if (i + 1 < res.windows.size()) EXPECT_EQ(res.windows[i].cuts.size(), 8u);
+  }
+}
+
+TEST(Pipeline, OverlappingWindows) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  cfg.t_end = 10.0;  // 21 samples
+  cfg.window_size = 8;
+  cfg.window_slide = 4;
+  const auto res = cwcsim::simulate(m, cfg);
+  // Full windows start at 0,4,8,12 (12+8=20 <= 21); trailing partial at 16.
+  ASSERT_GE(res.windows.size(), 4u);
+  for (std::size_t i = 0; i + 1 < res.windows.size(); ++i)
+    EXPECT_EQ(res.windows[i + 1].first_sample - res.windows[i].first_sample, 4u);
+}
+
+TEST(Pipeline, TraceCaptureAccountsAllQuanta) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  cfg.capture_trace = true;
+  const auto res = cwcsim::simulate(m, cfg);
+  ASSERT_FALSE(res.trace.empty());
+  std::uint64_t total_samples = 0;
+  std::uint64_t total_steps = 0;
+  for (const auto& q : res.trace) {
+    total_samples += q.samples;
+    total_steps += q.ssa_steps;
+  }
+  EXPECT_EQ(total_samples, cfg.num_samples() * cfg.num_trajectories);
+  std::uint64_t steps_from_completions = 0;
+  for (const auto& d : res.completions) steps_from_completions += d.steps;
+  EXPECT_EQ(total_steps, steps_from_completions);
+}
+
+TEST(Pipeline, SingleTrajectorySingleWorker) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  cfg.num_trajectories = 1;
+  cfg.sim_workers = 1;
+  const auto res = cwcsim::simulate(m, cfg);
+  EXPECT_EQ(cuts_of(res).size(), cfg.num_samples());
+  EXPECT_EQ(res.completions.size(), 1u);
+}
+
+TEST(Pipeline, RejectsDegenerateConfig) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  cfg.num_trajectories = 0;
+  EXPECT_THROW(cwcsim::multicore_simulator(m, cfg), util::precondition_error);
+  cfg = small_config();
+  cfg.sim_workers = 0;
+  EXPECT_THROW(cwcsim::multicore_simulator(m, cfg), util::precondition_error);
+}
+
+TEST(Pipeline, MeanSeriesHelper) {
+  const auto m = models::make_neurospora_cwc({});
+  const auto cfg = small_config();
+  const auto res = cwcsim::simulate(m, cfg);
+  const auto series = res.mean_series(0);
+  ASSERT_EQ(series.size(), cfg.num_samples());
+  EXPECT_DOUBLE_EQ(series[0].first, 0.0);
+  // At t=0 every trajectory starts at the same count: variance 0, mean = x0.
+  EXPECT_DOUBLE_EQ(series[0].second, 10.0);
+}
+
+// --------------------------- node-level tests ----------------------------
+
+TEST(ReorderGather, RestoresOrderFromShuffledWindows) {
+  ff::network net;
+  auto* src = net.add(ff::make_node([i = 0](auto& self, ff::token) mutable {
+    // Emit windows keyed 8, 0, 16, 24 out of order (slide 8).
+    const std::uint64_t keys[] = {8, 0, 24, 16};
+    if (i >= 4) return ff::outcome::end;
+    cwcsim::window_summary w;
+    w.first_sample = keys[i++];
+    self.send_out(ff::token::of(std::move(w)));
+    return i < 4 ? ff::outcome::more : ff::outcome::end;
+  }));
+  auto* reorder = net.emplace<cwcsim::reorder_gather>(8);
+  std::vector<std::uint64_t> got;
+  auto* sink = net.add(ff::make_node([&got](auto&, ff::token t) {
+    got.push_back(t.template as<cwcsim::window_summary>().first_sample);
+    return ff::outcome::more;
+  }));
+  net.connect(src, reorder);
+  net.connect(reorder, sink);
+  net.run_and_wait();
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{0, 8, 16, 24}));
+}
+
+TEST(Aligner, DetectsTrajectoryLossAtEos) {
+  // Feed samples for only 1 of 2 expected trajectories: the aligner must
+  // refuse to silently drop the incomplete cut at EOS.
+  cwcsim::sim_config cfg = small_config();
+  cfg.num_trajectories = 2;
+
+  ff::network net;
+  auto* src = net.add(ff::make_node([sent = false, &cfg](auto& self,
+                                                         ff::token) mutable {
+    if (sent) return ff::outcome::end;
+    sent = true;
+    cwcsim::sample_batch b;
+    b.trajectory_id = 0;
+    b.samples.push_back(cwc::trajectory_sample{0.0, {1.0, 2.0, 3.0}});
+    (void)cfg;
+    self.send_out(ff::token::of(std::move(b)));
+    return ff::outcome::end;
+  }));
+  auto* aligner = net.emplace<cwcsim::trajectory_aligner>(cfg, 3u);
+  net.connect(src, aligner);
+  net.run();
+  EXPECT_THROW(net.wait(), util::postcondition_error);
+}
+
+}  // namespace

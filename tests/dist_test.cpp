@@ -1,0 +1,214 @@
+// Tests for the distributed runtime: serialisation round-trips, the network
+// fabric (ordering, close semantics, latency), and end-to-end equivalence
+// of the distributed simulator with the shared-memory one.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dist/dist.hpp"
+#include "models/models.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+TEST(Serialize, PodRoundTrip) {
+  dist::archive_writer w;
+  w.put<std::uint64_t>(42);
+  w.put<double>(3.5);
+  w.put<std::int32_t>(-7);
+  const auto bytes = w.take();
+
+  dist::archive_reader r(bytes);
+  EXPECT_EQ(r.get<std::uint64_t>(), 42u);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.5);
+  EXPECT_EQ(r.get<std::int32_t>(), -7);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, StringAndVectorRoundTrip) {
+  dist::archive_writer w;
+  w.put_string("hello cwc");
+  w.put_vector<double>({1.0, 2.0, 3.0});
+  w.put_string("");
+  const auto bytes = w.take();
+
+  dist::archive_reader r(bytes);
+  EXPECT_EQ(r.get_string(), "hello cwc");
+  EXPECT_EQ(r.get_vector<double>(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, UnderflowThrows) {
+  dist::archive_writer w;
+  w.put<std::uint32_t>(1);
+  const auto bytes = w.take();
+  dist::archive_reader r(bytes);
+  EXPECT_THROW(r.get<std::uint64_t>(), std::runtime_error);
+}
+
+class wire_param_test : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(wire_param_test, SampleBatchRoundTrip) {
+  const std::size_t n = GetParam();
+  cwcsim::sample_batch b;
+  b.trajectory_id = 77;
+  for (std::size_t i = 0; i < n; ++i) {
+    cwc::trajectory_sample s;
+    s.time = 0.5 * static_cast<double>(i);
+    s.values = {static_cast<double>(i), 2.0 * static_cast<double>(i), -1.0};
+    b.samples.push_back(std::move(s));
+  }
+  const auto bytes = dist::encode_sample_batch(b);
+  const auto back = dist::decode_sample_batch(bytes);
+  EXPECT_EQ(back.trajectory_id, 77u);
+  ASSERT_EQ(back.samples.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(back.samples[i].time, b.samples[i].time);
+    EXPECT_EQ(back.samples[i].values, b.samples[i].values);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, wire_param_test,
+                         ::testing::Values(0u, 1u, 7u, 100u));
+
+TEST(Wire, TaskDoneRoundTrip) {
+  cwcsim::task_done d;
+  d.trajectory_id = 9;
+  d.quanta = 12;
+  d.steps = 34567;
+  const auto back = dist::decode_task_done(dist::encode_task_done(d));
+  EXPECT_EQ(back.trajectory_id, 9u);
+  EXPECT_EQ(back.quanta, 12u);
+  EXPECT_EQ(back.steps, 34567u);
+}
+
+TEST(NetChannel, DeliversInOrderPerWriter) {
+  dist::net_channel ch;
+  ch.add_writer();
+  for (int i = 0; i < 100; ++i) {
+    dist::archive_writer w;
+    w.put<int>(i);
+    ch.send(w.take());
+  }
+  ch.close_writer();
+  for (int i = 0; i < 100; ++i) {
+    auto m = ch.recv();
+    ASSERT_TRUE(m.has_value());
+    dist::archive_reader r(*m);
+    EXPECT_EQ(r.get<int>(), i);
+  }
+  EXPECT_FALSE(ch.recv().has_value());
+  EXPECT_EQ(ch.messages_sent(), 100u);
+}
+
+TEST(NetChannel, RecvUnblocksOnClose) {
+  dist::net_channel ch;
+  ch.add_writer();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.close_writer();
+  });
+  EXPECT_FALSE(ch.recv().has_value());
+  closer.join();
+}
+
+TEST(NetChannel, LatencyDelaysDelivery) {
+  dist::net_params p;
+  p.latency_s = 0.05;
+  dist::net_channel ch(p);
+  ch.add_writer();
+  util::stopwatch sw;
+  ch.send({std::byte{1}});
+  auto m = ch.recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_GE(sw.elapsed_s(), 0.045);
+  ch.close_writer();
+}
+
+TEST(NetChannel, MultipleWritersAllDrained) {
+  dist::net_channel ch;
+  constexpr int kWriters = 4, kEach = 50;
+  std::vector<std::thread> ts;
+  for (int w = 0; w < kWriters; ++w) ch.add_writer();
+  for (int w = 0; w < kWriters; ++w) {
+    ts.emplace_back([&ch, w] {
+      for (int i = 0; i < kEach; ++i) {
+        dist::archive_writer aw;
+        aw.put<int>(w * 1000 + i);
+        ch.send(aw.take());
+      }
+      ch.close_writer();
+    });
+  }
+  int got = 0;
+  while (ch.recv().has_value()) ++got;
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(got, kWriters * kEach);
+}
+
+TEST(DistributedSimulator, MatchesMulticoreExactly) {
+  const auto m = models::make_neurospora_cwc({});
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = 18;
+  cfg.t_end = 12.0;
+  cfg.sample_period = 0.5;
+  cfg.quantum = 3.0;
+  cfg.sim_workers = 2;
+  cfg.stat_engines = 2;
+  cfg.window_size = 5;
+  cfg.window_slide = 5;
+
+  const auto mc = cwcsim::simulate(m, cfg);
+
+  dist::dist_config dc;
+  dc.base = cfg;
+  dc.num_hosts = 3;
+  dc.workers_per_host = 2;
+  dc.network.latency_s = 1e-4;
+  dc.network.bytes_per_s = 50e6;
+  auto dr = dist::distributed_simulator(m, dc).run();
+
+  ASSERT_EQ(dr.result.windows.size(), mc.windows.size());
+  for (std::size_t i = 0; i < mc.windows.size(); ++i) {
+    ASSERT_EQ(dr.result.windows[i].first_sample, mc.windows[i].first_sample);
+    for (std::size_t c = 0; c < mc.windows[i].cuts.size(); ++c) {
+      const auto& a = mc.windows[i].cuts[c];
+      const auto& b = dr.result.windows[i].cuts[c];
+      for (std::size_t d = 0; d < a.moments.size(); ++d) {
+        ASSERT_DOUBLE_EQ(a.moments[d].mean(), b.moments[d].mean());
+        ASSERT_DOUBLE_EQ(a.moments[d].variance(), b.moments[d].variance());
+      }
+    }
+  }
+  EXPECT_EQ(dr.result.completions.size(), cfg.num_trajectories);
+  EXPECT_GT(dr.messages, 0u);
+  EXPECT_GT(dr.bytes, 0.0);
+}
+
+TEST(DistributedSimulator, SingleHostDegenerateCase) {
+  const auto net = models::make_birth_death({});
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = 4;
+  cfg.t_end = 5.0;
+  cfg.sample_period = 0.5;
+  cfg.quantum = 2.0;
+  cfg.kmeans_k = 0;
+
+  dist::dist_config dc;
+  dc.base = cfg;
+  dc.num_hosts = 1;
+  dc.workers_per_host = 2;
+  auto dr = dist::distributed_simulator(net, dc).run();
+  EXPECT_EQ(dr.result.all_cuts().size(), cfg.num_samples());
+}
+
+TEST(DistributedSimulator, RejectsMoreHostsThanTrajectories) {
+  const auto net = models::make_birth_death({});
+  dist::dist_config dc;
+  dc.base.num_trajectories = 2;
+  dc.num_hosts = 5;
+  EXPECT_THROW(dist::distributed_simulator(net, dc), util::precondition_error);
+}
+
+}  // namespace

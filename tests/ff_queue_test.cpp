@@ -1,0 +1,178 @@
+// Tests for the lock-free SPSC building blocks: bounded ring, unbounded
+// list-of-rings, tokens, and channels — including cross-thread stress runs
+// verifying FIFO order and losslessness.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "ff/channel.hpp"
+#include "ff/spsc_queue.hpp"
+#include "ff/token.hpp"
+#include "ff/uspsc_queue.hpp"
+
+namespace {
+
+TEST(SpscQueue, PushPopSingleThread) {
+  ff::spsc_queue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(int(i)));
+  EXPECT_FALSE(q.push(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, WrapsAroundManyTimes) {
+  ff::spsc_queue<int> q(3);
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(q.push(int(round)));
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, round);
+  }
+}
+
+TEST(SpscQueue, FrontPeeksWithoutConsuming) {
+  ff::spsc_queue<int> q(4);
+  EXPECT_EQ(q.front(), nullptr);
+  q.push(5);
+  ASSERT_NE(q.front(), nullptr);
+  EXPECT_EQ(*q.front(), 5);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(*q.pop(), 5);
+}
+
+TEST(SpscQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(ff::spsc_queue<int>(0), util::precondition_error);
+}
+
+TEST(SpscQueue, TwoThreadStressPreservesFifo) {
+  ff::spsc_queue<std::uint64_t> q(128);
+  constexpr std::uint64_t kN = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      while (!q.push(std::uint64_t(i))) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kN) {
+    auto v = q.pop();
+    if (!v.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(*v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(UspscQueue, UnboundedGrowth) {
+  ff::uspsc_queue<int> q(/*segment_capacity=*/8);
+  for (int i = 0; i < 10000; ++i) q.push(int(i));  // never fails
+  for (int i = 0; i < 10000; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(UspscQueue, SegmentRecyclingSteadyState) {
+  ff::uspsc_queue<int> q(4, /*cache_segments=*/4);
+  // Pump many more elements than one segment holds; memory stays bounded
+  // because drained segments recycle. (Sanity: behaviourally lossless.)
+  for (int round = 0; round < 5000; ++round) {
+    for (int i = 0; i < 6; ++i) q.push(round * 6 + i);
+    for (int i = 0; i < 6; ++i) {
+      auto v = q.pop();
+      ASSERT_TRUE(v.has_value());
+      ASSERT_EQ(*v, round * 6 + i);
+    }
+  }
+}
+
+TEST(UspscQueue, TwoThreadStressPreservesFifo) {
+  ff::uspsc_queue<std::uint64_t> q(64);
+  constexpr std::uint64_t kN = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kN; ++i) q.push(std::uint64_t(i));
+  });
+  std::uint64_t expected = 0;
+  while (expected < kN) {
+    auto v = q.pop();
+    if (!v.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(*v, expected);
+    ++expected;
+  }
+  producer.join();
+}
+
+TEST(Token, HoldsTypedPayload) {
+  auto t = ff::token::of(std::string("hello"));
+  EXPECT_TRUE(t.holds<std::string>());
+  EXPECT_FALSE(t.holds<int>());
+  EXPECT_EQ(t.as<std::string>(), "hello");
+  const std::string s = t.take<std::string>();
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Token, EosAndEmpty) {
+  ff::token e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_FALSE(e.is_eos());
+  auto eos = ff::token::eos();
+  EXPECT_TRUE(eos.is_eos());
+  EXPECT_FALSE(eos.has_value());
+}
+
+TEST(Token, TypeMismatchThrows) {
+  auto t = ff::token::of(42);
+  EXPECT_THROW(t.as<std::string>(), util::precondition_error);
+  EXPECT_EQ(t.try_as<std::string>(), nullptr);
+  ASSERT_NE(t.try_as<int>(), nullptr);
+  EXPECT_EQ(*t.try_as<int>(), 42);
+}
+
+TEST(Token, MoveOnlyPayload) {
+  auto t = ff::token::of(std::make_unique<int>(9));
+  auto p = t.take<std::unique_ptr<int>>();
+  EXPECT_EQ(*p, 9);
+}
+
+TEST(Channel, BoundedBackpressureFlag) {
+  ff::channel c(2);
+  EXPECT_TRUE(c.try_push(ff::token::of(1)));
+  EXPECT_TRUE(c.try_push(ff::token::of(2)));
+  EXPECT_TRUE(c.full());
+  EXPECT_FALSE(c.try_push(ff::token::of(3)));
+  auto v = c.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as<int>(), 1);
+  EXPECT_FALSE(c.full());
+}
+
+TEST(Channel, UnboundedNeverFull) {
+  ff::channel c(0, ff::edge_kind::feedback);
+  EXPECT_EQ(c.kind(), ff::edge_kind::feedback);
+  for (int i = 0; i < 5000; ++i) EXPECT_TRUE(c.try_push(ff::token::of(i)));
+  EXPECT_FALSE(c.full());
+  for (int i = 0; i < 5000; ++i) {
+    auto v = c.try_pop();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(v->as<int>(), i);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Tests for the SIMT execution model: warp packing, divergence accounting,
+// slot scheduling, the map primitive, the GPU pipeline model, and
+// functional equivalence of the GPU simulator with the multicore one.
+#include <gtest/gtest.h>
+
+#include "core/cwcsim.hpp"
+#include "models/models.hpp"
+#include "simt/simt.hpp"
+
+namespace {
+
+simt::device_spec tiny_device() {
+  simt::device_spec d;
+  d.name = "tiny";
+  d.warp_size = 4;
+  d.concurrent_warps = 2;
+  d.kernel_launch_s = 0.0;
+  d.step_slowdown = 1.0;
+  return d;
+}
+
+TEST(KernelMakespan, UniformLanesNoDivergence) {
+  const std::vector<double> lanes(8, 1.0);  // 2 warps of 4, 2 slots
+  const auto st = simt::kernel_makespan(lanes, tiny_device());
+  EXPECT_DOUBLE_EQ(st.device_seconds, 1.0);
+  EXPECT_EQ(st.warps, 2u);
+  EXPECT_DOUBLE_EQ(st.divergence_factor(), 1.0);
+}
+
+TEST(KernelMakespan, DivergenceIsLaneMax) {
+  // One warp: lanes 1,1,1,9 -> warp runs 9s; divergence 4*9/12 = 3.
+  const std::vector<double> lanes = {1.0, 1.0, 1.0, 9.0};
+  const auto st = simt::kernel_makespan(lanes, tiny_device());
+  EXPECT_DOUBLE_EQ(st.device_seconds, 9.0);
+  EXPECT_DOUBLE_EQ(st.divergence_factor(), 3.0);
+}
+
+TEST(KernelMakespan, SlotSchedulingQueuesExcessWarps) {
+  // 4 warps of 1s on 2 slots -> two rounds -> 2s.
+  const std::vector<double> lanes(16, 1.0);
+  const auto st = simt::kernel_makespan(lanes, tiny_device());
+  EXPECT_DOUBLE_EQ(st.device_seconds, 2.0);
+  EXPECT_EQ(st.warps, 4u);
+}
+
+TEST(KernelMakespan, LaunchOverheadAdds) {
+  auto dev = tiny_device();
+  dev.kernel_launch_s = 0.5;
+  const std::vector<double> lanes(4, 1.0);
+  EXPECT_DOUBLE_EQ(simt::kernel_makespan(lanes, dev).device_seconds, 1.5);
+}
+
+TEST(KernelMakespan, EmptyKernelIsFree) {
+  const auto st = simt::kernel_makespan({}, tiny_device());
+  EXPECT_DOUBLE_EQ(st.device_seconds, 0.0);
+  EXPECT_EQ(st.warps, 0u);
+}
+
+TEST(KernelMakespan, PartialLastWarp) {
+  // 5 lanes with warp 4: second warp has one lane.
+  const std::vector<double> lanes = {1, 1, 1, 1, 2};
+  const auto st = simt::kernel_makespan(lanes, tiny_device());
+  EXPECT_EQ(st.warps, 2u);
+  EXPECT_DOUBLE_EQ(st.device_seconds, 2.0);  // both warps fit in the 2 slots
+}
+
+TEST(MapKernel, ExecutesBodyAndAccountsTime) {
+  auto dev = tiny_device();
+  std::vector<int> items = {1, 2, 3, 4};
+  const auto st = simt::map_kernel(dev, std::span<int>(items), [](int& x) {
+    x *= 10;
+    return static_cast<double>(x) / 40.0;
+  });
+  EXPECT_EQ(items, (std::vector<int>{10, 20, 30, 40}));
+  EXPECT_DOUBLE_EQ(st.device_seconds, 1.0);  // max lane = 40/40
+}
+
+TEST(GpuModel, CompletesAllCutsAndReportsDivergence) {
+  const auto m = models::make_neurospora_cwc({});
+  cwcsim::model_ref mr;
+  mr.tree = &m;
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = 64;
+  cfg.t_end = 10.0;
+  cfg.sample_period = 0.5;
+  cfg.quantum = 2.0;
+  const auto w = des::capture_workload(mr, cfg);
+  des::calibration cal;
+
+  const auto out = simt::simulate_gpu(w, cal, simt::devices::tesla_k40(),
+                                      des::platforms::ec2_quadcore_vm(), {});
+  EXPECT_EQ(out.pipeline.cuts, w.num_samples);
+  EXPECT_EQ(out.kernels, w.max_quanta_per_trajectory());
+  EXPECT_GE(out.divergence_factor, 1.0);
+  EXPECT_LE(out.divergence_factor, 32.0);
+  EXPECT_GT(out.pipeline.makespan_s, 0.0);
+  EXPECT_GE(out.pipeline.makespan_s, out.device_busy_s - 1e-9);
+}
+
+TEST(GpuModel, MoreTrajectoriesSublinearUntilSaturation) {
+  // GPU time grows much slower than linearly while warp slots are free —
+  // the Table I phenomenon (GPU loses at N=128, wins at N>=512).
+  const auto m = models::make_neurospora_cwc({});
+  cwcsim::model_ref mr;
+  mr.tree = &m;
+  des::calibration cal;
+
+  auto modeled = [&](std::uint64_t n) {
+    cwcsim::sim_config cfg;
+    cfg.num_trajectories = n;
+    cfg.t_end = 5.0;
+    cfg.sample_period = 0.5;
+    cfg.quantum = 2.5;
+    const auto w = des::capture_workload(mr, cfg);
+    return simt::simulate_gpu(w, cal, simt::devices::tesla_k40(),
+                              des::platforms::ec2_quadcore_vm(), {})
+        .pipeline.makespan_s;
+  };
+  const double t128 = modeled(128);
+  const double t512 = modeled(512);
+  EXPECT_LT(t512, 2.0 * t128);  // 4x work for < 2x time
+}
+
+TEST(GpuSimulator, MatchesMulticoreResultsExactly) {
+  const auto m = models::make_neurospora_cwc({});
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = 16;
+  cfg.t_end = 12.0;
+  cfg.sample_period = 0.5;
+  cfg.quantum = 3.0;
+  cfg.sim_workers = 3;
+  cfg.stat_engines = 2;
+  cfg.window_size = 5;
+  cfg.window_slide = 5;
+
+  const auto mc = cwcsim::simulate(m, cfg);
+  auto gpu = simt::gpu_simulator(m, cfg, simt::devices::tesla_k40()).run();
+
+  ASSERT_EQ(gpu.result.windows.size(), mc.windows.size());
+  for (std::size_t i = 0; i < mc.windows.size(); ++i) {
+    ASSERT_EQ(gpu.result.windows[i].cuts.size(), mc.windows[i].cuts.size());
+    for (std::size_t c = 0; c < mc.windows[i].cuts.size(); ++c) {
+      const auto& a = mc.windows[i].cuts[c];
+      const auto& b = gpu.result.windows[i].cuts[c];
+      for (std::size_t d = 0; d < a.moments.size(); ++d) {
+        ASSERT_DOUBLE_EQ(a.moments[d].mean(), b.moments[d].mean());
+        ASSERT_DOUBLE_EQ(a.moments[d].variance(), b.moments[d].variance());
+      }
+      ASSERT_EQ(a.medians, b.medians);
+    }
+  }
+  EXPECT_GT(gpu.device_seconds, 0.0);
+  EXPECT_GE(gpu.divergence_factor, 1.0);
+  EXPECT_EQ(gpu.result.completions.size(), cfg.num_trajectories);
+}
+
+TEST(GpuSimulator, QuantumChangesTimingNotResults) {
+  // Quantum is a performance knob: per-cut means must be identical across
+  // quantum sizes (the engines keep deferred reactions across horizons).
+  const auto m = models::make_neurospora_cwc({});
+  cwcsim::sim_config a;
+  a.num_trajectories = 8;
+  a.t_end = 10.0;
+  a.sample_period = 0.5;
+  a.quantum = 0.5;
+  auto b = a;
+  b.quantum = 5.0;
+
+  auto ra = simt::gpu_simulator(m, a, simt::devices::tesla_k40()).run();
+  auto rb = simt::gpu_simulator(m, b, simt::devices::tesla_k40()).run();
+  EXPECT_GT(ra.kernels, rb.kernels);
+
+  const auto ca = ra.result.all_cuts();
+  const auto cb = rb.result.all_cuts();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t k = 0; k < ca.size(); ++k)
+    for (std::size_t d = 0; d < ca[k].moments.size(); ++d)
+      ASSERT_DOUBLE_EQ(ca[k].moments[d].mean(), cb[k].moments[d].mean())
+          << "cut " << k;
+}
+
+}  // namespace

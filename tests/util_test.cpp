@@ -1,0 +1,191 @@
+// Unit tests for the util substrate: RNG streams, histogram, CLI, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  util::rng_stream a(42, 7);
+  util::rng_stream b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  util::rng_stream a(42, 0);
+  util::rng_stream b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::rng_stream a(1, 0);
+  util::rng_stream b(2, 0);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::rng_stream r(7, 0);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.next_uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformPosNeverZero) {
+  util::rng_stream r(3, 3);
+  for (int i = 0; i < 100000; ++i) ASSERT_GT(r.next_uniform_pos(), 0.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  util::rng_stream r(11, 0);
+  const double lambda = 2.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.next_exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  util::rng_stream r(1, 1);
+  EXPECT_THROW(r.next_exponential(0.0), util::precondition_error);
+  EXPECT_THROW(r.next_exponential(-1.0), util::precondition_error);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversAll) {
+  util::rng_stream r(5, 5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMoments) {
+  util::rng_stream r(13, 0);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.next_normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  util::rng_stream r(17, 0);
+  for (const double mean : {0.5, 5.0, 80.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+      sum += static_cast<double>(r.next_poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Histogram, BinningAndCounts) {
+  util::histogram h(0.0, 10.0, 10);
+  h.add(0.0);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (right-open)
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, MergeRequiresSameBinning) {
+  util::histogram a(0, 1, 4);
+  util::histogram b(0, 1, 5);
+  EXPECT_THROW(a.merge(b), util::precondition_error);
+  util::histogram c(0, 1, 4);
+  c.add(0.3);
+  a.add(0.3);
+  a.merge(c);
+  EXPECT_EQ(a.count(1), 2u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  util::histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 10000; ++i) h.add(static_cast<double>(i % 100) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(util::histogram(1.0, 1.0, 4), util::precondition_error);
+  EXPECT_THROW(util::histogram(0.0, 1.0, 0), util::precondition_error);
+}
+
+TEST(Cli, ParsesOptionsAndPositionals) {
+  // NB: a bare flag directly followed by a positional would swallow it
+  // (`--fast input.txt`); bare flags go last or use `=` (documented).
+  const char* argv[] = {"prog", "--workers", "8", "--fast", "--rate=0.5",
+                        "input.txt"};
+  util::cli cli(6, argv);
+  EXPECT_EQ(cli.get_int("workers", 0), 8);
+  EXPECT_TRUE(cli.get_bool("fast", false));
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 0.5);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+}
+
+TEST(Cli, ThrowsOnMalformedNumbers) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  util::cli cli(3, argv);
+  EXPECT_THROW(cli.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_double("n", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_bool("n", false), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  util::table t({"name", "value"});
+  t.add_row({"alpha", util::table::num(1.5)});
+  t.add_row({"b", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  util::table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), util::precondition_error);
+}
+
+TEST(Check, ExpectsAndEnsures) {
+  EXPECT_NO_THROW(util::expects(true, "ok"));
+  EXPECT_THROW(util::expects(false, "bad"), util::precondition_error);
+  EXPECT_THROW(util::ensures(false, "bad"), util::postcondition_error);
+}
+
+}  // namespace
