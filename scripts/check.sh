@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# One-liner local verification: configure, build, run every test.
+# Usage: ./scripts/check.sh [extra ctest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+exec ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" "$@"

@@ -1,0 +1,76 @@
+// The cut-assembly core shared by the shared-memory alignment stage
+// (trajectory_aligner) and the distributed master: collects per-trajectory
+// samples into cuts indexed by trajectory id and releases each cut, in
+// sample-index order, once every trajectory has contributed.
+//
+// Keeping this logic in one place is what makes the distributed runtime's
+// bit-exactness guarantee durable: both deployments assemble cuts with the
+// same rounding, the same indexing, and the same release rule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "cwc/gillespie.hpp"
+#include "stats/cut.hpp"
+#include "util/check.hpp"
+
+namespace cwcsim {
+
+class cut_assembler {
+ public:
+  cut_assembler(const sim_config& cfg, std::size_t num_observables)
+      : cfg_(&cfg), num_observables_(num_observables) {}
+
+  /// Record one sample of `trajectory`; invokes `emit(trajectory_cut&&)`
+  /// for every cut this sample completes (in sample-index order).
+  template <typename Emit>
+  void ingest(std::uint64_t trajectory, const cwc::trajectory_sample& s,
+              Emit&& emit) {
+    const auto k =
+        static_cast<std::uint64_t>(s.time / cfg_->sample_period + 0.5);
+    auto [it, fresh] = pending_.try_emplace(k);
+    if (fresh) {
+      it->second.cut.sample_index = k;
+      it->second.cut.time = s.time;
+      it->second.cut.values.assign(cfg_->num_trajectories,
+                                   std::vector<double>(num_observables_, 0.0));
+    }
+    util::expects(trajectory < cfg_->num_trajectories,
+                  "trajectory id out of range");
+    it->second.cut.values[trajectory] = s.values;
+    ++it->second.filled;
+
+    while (true) {
+      auto ready = pending_.find(next_emit_);
+      if (ready == pending_.end() ||
+          ready->second.filled < cfg_->num_trajectories)
+        return;
+      emit(std::move(ready->second.cut));
+      pending_.erase(ready);
+      ++next_emit_;
+      ++emitted_;
+    }
+  }
+
+  /// True when no partially-filled cut remains (a complete run's end state).
+  bool drained() const noexcept { return pending_.empty(); }
+  std::uint64_t emitted() const noexcept { return emitted_; }
+
+ private:
+  struct pending_cut {
+    stats::trajectory_cut cut;
+    std::uint64_t filled = 0;
+  };
+
+  const sim_config* cfg_;
+  std::size_t num_observables_;
+  std::map<std::uint64_t, pending_cut> pending_;  // keyed by sample index
+  std::uint64_t next_emit_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace cwcsim

@@ -79,38 +79,17 @@ sim_engine_node::sim_engine_node(const sim_config& cfg, unsigned worker_id)
 
 ff::outcome sim_engine_node::svc(ff::token t) {
   auto task = t.take<sim_task>();
-  util::stopwatch sw;
-  const std::uint64_t steps_before = task.engine.steps();
-
-  sample_batch batch;
-  batch.trajectory_id = task.trajectory_id;
-  const double horizon = std::min(task.engine.time() + cfg_->quantum, cfg_->t_end);
-  task.engine.run_to(horizon, cfg_->sample_period, batch.samples);
-  if (task.engine.stalled() && task.engine.time() < cfg_->t_end) {
-    // No reaction can ever fire again: emit the frozen tail immediately
-    // instead of rescheduling a dead trajectory.
-    task.engine.run_to(cfg_->t_end, cfg_->sample_period, batch.samples);
-  }
+  auto outcome = advance_one_quantum(task.engine, *cfg_, task.trajectory_id,
+                                     task.quantum_index);
 
   ++quanta_;
-  if (cfg_->capture_trace) {
-    quantum_record rec;
-    rec.trajectory_id = task.trajectory_id;
-    rec.quantum_index = task.quantum_index;
-    rec.ssa_steps = task.engine.steps() - steps_before;
-    rec.wall_ns = sw.elapsed_ns();
-    rec.samples = static_cast<std::uint32_t>(batch.samples.size());
-    trace_.push_back(rec);
-  }
+  if (cfg_->capture_trace) trace_.push_back(outcome.record);
 
-  if (!batch.samples.empty()) send_out(ff::token::of(std::move(batch)));
+  if (!outcome.batch.samples.empty())
+    send_out(ff::token::of(std::move(outcome.batch)));
 
-  if (task.engine.time() >= cfg_->t_end) {
-    task_done done;
-    done.trajectory_id = task.trajectory_id;
-    done.quanta = task.quantum_index + 1;
-    done.steps = task.engine.steps();
-    send_feedback(ff::token::of(done));
+  if (outcome.finished) {
+    send_feedback(ff::token::of(outcome.done));
   } else {
     ++task.quantum_index;
     send_feedback(ff::token::make<sim_task>(std::move(task)));
@@ -122,48 +101,24 @@ ff::outcome sim_engine_node::svc(ff::token t) {
 
 trajectory_aligner::trajectory_aligner(const sim_config& cfg,
                                        std::size_t num_observables)
-    : cfg_(&cfg), num_observables_(num_observables) {
+    : assembler_(cfg, num_observables) {
   set_name("trajectory-aligner");
-}
-
-void trajectory_aligner::ingest(std::uint64_t trajectory,
-                                const cwc::trajectory_sample& s) {
-  const auto k = static_cast<std::uint64_t>(s.time / cfg_->sample_period + 0.5);
-  auto [it, fresh] = pending_.try_emplace(k);
-  if (fresh) {
-    it->second.cut.sample_index = k;
-    it->second.cut.time = s.time;
-    it->second.cut.values.assign(cfg_->num_trajectories,
-                                 std::vector<double>(num_observables_, 0.0));
-  }
-  util::expects(trajectory < cfg_->num_trajectories, "trajectory id out of range");
-  it->second.cut.values[trajectory] = s.values;
-  ++it->second.filled;
-}
-
-void trajectory_aligner::emit_ready() {
-  while (true) {
-    auto it = pending_.find(next_emit_);
-    if (it == pending_.end() || it->second.filled < cfg_->num_trajectories) return;
-    send_out(ff::token::of(std::move(it->second.cut)));
-    pending_.erase(it);
-    ++next_emit_;
-    ++emitted_;
-  }
 }
 
 ff::outcome trajectory_aligner::svc(ff::token t) {
   const auto batch = t.take<sample_batch>();
-  for (const auto& s : batch.samples) ingest(batch.trajectory_id, s);
-  emit_ready();
+  for (const auto& s : batch.samples) {
+    assembler_.ingest(batch.trajectory_id, s, [this](stats::trajectory_cut&& c) {
+      send_out(ff::token::of(std::move(c)));
+    });
+  }
   return ff::outcome::more;
 }
 
 void trajectory_aligner::on_eos() {
-  emit_ready();
   // A complete run leaves nothing behind; partially filled cuts indicate a
   // trajectory loss upstream and must not silently disappear.
-  util::ensures(pending_.empty(), "alignment buffer not drained at EOS");
+  util::ensures(assembler_.drained(), "alignment buffer not drained at EOS");
 }
 
 // ---------------------------------------------------------------- windowing

@@ -12,8 +12,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/alignment.hpp"
 #include "core/config.hpp"
 #include "core/messages.hpp"
+#include "core/quantum.hpp"
 #include "core/result.hpp"
 #include "ff/ff.hpp"
 
@@ -105,21 +107,10 @@ class trajectory_aligner final : public ff::node {
   ff::outcome svc(ff::token t) override;
   void on_eos() override;
 
-  std::uint64_t cuts_emitted() const noexcept { return emitted_; }
+  std::uint64_t cuts_emitted() const noexcept { return assembler_.emitted(); }
 
  private:
-  struct pending {
-    stats::trajectory_cut cut;
-    std::uint64_t filled = 0;
-  };
-  void ingest(std::uint64_t trajectory, const cwc::trajectory_sample& s);
-  void emit_ready();
-
-  const sim_config* cfg_;
-  std::size_t num_observables_;
-  std::map<std::uint64_t, pending> pending_;  // keyed by sample index
-  std::uint64_t next_emit_ = 0;
-  std::uint64_t emitted_ = 0;
+  cut_assembler assembler_;
 };
 
 /// Analysis stage 1: groups the cut stream into sliding windows.

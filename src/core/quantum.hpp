@@ -1,0 +1,61 @@
+// The per-quantum advancement contract shared by the shared-memory farm
+// worker (sim_engine_node) and the distributed host runtime: run one
+// scheduling quantum, fast-forward stalled trajectories to the horizon,
+// and report the samples, the service-time record, and completion.
+//
+// Keeping this in one place is what makes the distributed runtime's
+// bit-exactness guarantee durable: both deployments advance engines with
+// the same horizon clamp and the same stalled-tail handling.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "util/stopwatch.hpp"
+
+namespace cwcsim {
+
+struct quantum_outcome {
+  sample_batch batch;     ///< samples produced this quantum (may be empty)
+  quantum_record record;  ///< service-time record (for capture_trace)
+  bool finished = false;  ///< trajectory reached t_end
+  task_done done;         ///< valid when finished
+};
+
+/// Advance `engine` by one quantum of `cfg.quantum` simulated time
+/// (clamped to cfg.t_end), sampling every cfg.sample_period.
+inline quantum_outcome advance_one_quantum(any_engine& engine,
+                                           const sim_config& cfg,
+                                           std::uint64_t trajectory_id,
+                                           std::uint64_t quantum_index) {
+  quantum_outcome out;
+  util::stopwatch sw;
+  const std::uint64_t steps_before = engine.steps();
+
+  out.batch.trajectory_id = trajectory_id;
+  const double horizon = std::min(engine.time() + cfg.quantum, cfg.t_end);
+  engine.run_to(horizon, cfg.sample_period, out.batch.samples);
+  if (engine.stalled() && engine.time() < cfg.t_end) {
+    // No reaction can ever fire again: emit the frozen tail immediately
+    // instead of rescheduling a dead trajectory.
+    engine.run_to(cfg.t_end, cfg.sample_period, out.batch.samples);
+  }
+
+  out.record.trajectory_id = trajectory_id;
+  out.record.quantum_index = quantum_index;
+  out.record.ssa_steps = engine.steps() - steps_before;
+  out.record.wall_ns = sw.elapsed_ns();
+  out.record.samples = static_cast<std::uint32_t>(out.batch.samples.size());
+
+  if (engine.time() >= cfg.t_end) {
+    out.finished = true;
+    out.done.trajectory_id = trajectory_id;
+    out.done.quanta = quantum_index + 1;
+    out.done.steps = engine.steps();
+  }
+  return out;
+}
+
+}  // namespace cwcsim

@@ -1,0 +1,126 @@
+// Flat binary archives: the serialisation substrate of the distributed
+// runtime. Messages travelling between hosts are encoded into contiguous
+// byte buffers (little-endian, as produced by the host — the virtual
+// cluster is homogeneous, mirroring the paper's EC2 deployment).
+//
+// Reading past the end of a buffer throws std::runtime_error so a
+// truncated/corrupted message surfaces as an error, never as garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace dist {
+
+using byte_buffer = std::vector<std::byte>;
+
+/// Append-only binary encoder.
+class archive_writer {
+ public:
+  /// Append one trivially-copyable value.
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "archive_writer::put requires a trivially copyable type");
+    append(&v, sizeof(T));
+  }
+
+  /// Append a length-prefixed string.
+  void put_string(const std::string& s) {
+    put<std::uint64_t>(s.size());
+    append(s.data(), s.size());
+  }
+
+  /// Append a length-prefixed vector of trivially-copyable elements.
+  template <typename T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "archive_writer::put_vector requires trivially copyable elements");
+    put<std::uint64_t>(v.size());
+    append(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Append raw bytes.
+  void append(const void* p, std::size_t n) {
+    if (n == 0) return;
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, p, n);
+  }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+
+  /// Surrender the encoded buffer; the writer is empty afterwards.
+  byte_buffer take() { return std::move(buf_); }
+
+ private:
+  byte_buffer buf_;
+};
+
+/// Sequential binary decoder over a borrowed buffer.
+class archive_reader {
+ public:
+  explicit archive_reader(const byte_buffer& buf) : buf_(buf) {}
+
+  /// Read one trivially-copyable value; throws std::runtime_error on
+  /// underflow.
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "archive_reader::get requires a trivially copyable type");
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  /// Read a length-prefixed string.
+  std::string get_string() {
+    const auto n = get<std::uint64_t>();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  /// Read a length-prefixed vector of trivially-copyable elements.
+  template <typename T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "archive_reader::get_vector requires trivially copyable elements");
+    const auto n = get<std::uint64_t>();
+    if (sizeof(T) != 0 && n > remaining() / sizeof(T))
+      throw std::runtime_error("archive_reader: vector length overruns buffer");
+    std::vector<T> v(static_cast<std::size_t>(n));
+    if (n > 0) {
+      std::memcpy(v.data(), buf_.data() + pos_,
+                  static_cast<std::size_t>(n) * sizeof(T));
+      pos_ += static_cast<std::size_t>(n) * sizeof(T);
+    }
+    return v;
+  }
+
+  /// True when every byte has been consumed.
+  bool exhausted() const noexcept { return pos_ == buf_.size(); }
+  std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  void require(std::uint64_t n) const {
+    if (n > buf_.size() - pos_)
+      throw std::runtime_error("archive_reader: underflow (need " +
+                               std::to_string(n) + " bytes, have " +
+                               std::to_string(buf_.size() - pos_) + ")");
+  }
+
+  const byte_buffer& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dist

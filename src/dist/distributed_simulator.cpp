@@ -1,0 +1,195 @@
+#include "dist/distributed_simulator.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/alignment.hpp"
+#include "core/quantum.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dist {
+
+namespace {
+
+/// One simulated host: `workers_per_host` engine threads advancing the
+/// host's partition of trajectories quantum by quantum — the same
+/// advance_one_quantum contract as cwcsim::sim_engine_node — and streaming
+/// the serialized results to the master over `out`. Messages are framed as
+/// a wire_tag byte followed by the payload, written in one pass.
+void run_host(const cwcsim::model_ref& model, const cwcsim::sim_config& cfg,
+              const std::vector<std::uint64_t>& ids, unsigned workers,
+              net_channel& out) {
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> engines;
+  engines.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    engines.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < ids.size();
+           i = next.fetch_add(1)) {
+        const std::uint64_t id = ids[i];
+        auto engine = model.make_engine(cfg.seed, id);
+        std::uint64_t quantum_index = 0;
+        while (true) {
+          auto q = cwcsim::advance_one_quantum(engine, cfg, id, quantum_index);
+          if (cfg.capture_trace) {
+            archive_writer w;
+            w.put(wire_tag::quantum_trace);
+            write_quantum_record(w, q.record);
+            out.send(w.take());
+          }
+          if (!q.batch.samples.empty()) {
+            archive_writer w;
+            w.put(wire_tag::sample_batch);
+            write_sample_batch(w, q.batch);
+            out.send(w.take());
+          }
+          if (q.finished) {
+            archive_writer w;
+            w.put(wire_tag::task_done);
+            write_task_done(w, q.done);
+            out.send(w.take());
+            break;
+          }
+          ++quantum_index;
+        }
+      }
+      out.close_writer();
+    });
+  }
+  for (auto& t : engines) t.join();
+}
+
+}  // namespace
+
+distributed_simulator::distributed_simulator(const cwc::model& m,
+                                             dist_config cfg)
+    : cfg_(std::move(cfg)) {
+  model_.tree = &m;
+  validate();
+}
+
+distributed_simulator::distributed_simulator(const cwc::reaction_network& n,
+                                             dist_config cfg)
+    : cfg_(std::move(cfg)) {
+  model_.flat = &n;
+  validate();
+}
+
+void distributed_simulator::validate() const {
+  util::expects(cfg_.base.num_trajectories > 0,
+                "need at least one trajectory");
+  util::expects(cfg_.base.quantum > 0.0, "quantum must be positive");
+  util::expects(cfg_.base.sample_period > 0.0,
+                "sample period must be positive");
+  util::expects(cfg_.num_hosts > 0, "need at least one host");
+  util::expects(cfg_.workers_per_host > 0,
+                "need at least one engine per host");
+  util::expects(cfg_.num_hosts <= cfg_.base.num_trajectories,
+                "more hosts than trajectories");
+  util::expects(cfg_.network.latency_s >= 0.0, "negative network latency");
+  util::expects(cfg_.network.bytes_per_s >= 0.0, "negative network bandwidth");
+}
+
+dist_result distributed_simulator::run() {
+  const cwcsim::sim_config& base = cfg_.base;
+  util::stopwatch sw;
+
+  // ---- partition trajectories across hosts (contiguous blocks) ----------
+  std::vector<std::vector<std::uint64_t>> partition(cfg_.num_hosts);
+  {
+    const std::uint64_t n = base.num_trajectories;
+    const std::uint64_t per = n / cfg_.num_hosts;
+    const std::uint64_t extra = n % cfg_.num_hosts;
+    std::uint64_t id = 0;
+    for (unsigned h = 0; h < cfg_.num_hosts; ++h) {
+      const std::uint64_t take = per + (h < extra ? 1 : 0);
+      for (std::uint64_t i = 0; i < take; ++i) partition[h].push_back(id++);
+    }
+  }
+
+  // ---- launch the virtual cluster ---------------------------------------
+  // All hosts stream into the master's ingress link (an MPSC channel, one
+  // writer per engine thread), so the master consumes messages in arrival
+  // order and cuts complete — and are analysed — on-line, with bounded
+  // buffering, exactly like the shared-memory alignment stage.
+  net_channel ingress(cfg_.network);
+  for (unsigned w = 0; w < cfg_.num_hosts * cfg_.workers_per_host; ++w)
+    ingress.add_writer();
+
+  std::vector<std::thread> hosts;
+  hosts.reserve(cfg_.num_hosts);
+  for (unsigned h = 0; h < cfg_.num_hosts; ++h) {
+    hosts.emplace_back([this, &base, &partition, &ingress, h] {
+      run_host(model_, base, partition[h], cfg_.workers_per_host, ingress);
+    });
+  }
+  // net_channel::send never blocks, so the hosts always run to completion
+  // and are joinable even if the master fails mid-stream.
+  auto join_hosts = [&hosts] {
+    for (auto& h : hosts) h.join();
+  };
+
+  // ---- master: align -> window -> statistics, on-line -------------------
+  dist_result out;
+  out.result.sim_workers = cfg_.num_hosts * cfg_.workers_per_host;
+  // The master runs the analysis stages inline on one thread; report what
+  // actually executed, not the base config's farm width.
+  out.result.stat_engines = 1;
+
+  cwcsim::cut_assembler assembler(base, model_.num_observables());
+  stats::sliding_window_builder builder(base.window_size, base.window_slide);
+
+  auto summarize = [&](stats::trajectory_window&& w) {
+    cwcsim::window_summary s;
+    s.first_sample = w.first_sample;
+    s.cuts.reserve(w.cuts.size());
+    for (const auto& cut : w.cuts)
+      s.cuts.push_back(stats::summarize_cut(cut, base.kmeans_k, base.seed));
+    out.result.windows.push_back(std::move(s));
+  };
+  auto on_cut = [&](stats::trajectory_cut&& cut) {
+    for (auto& w : builder.push(std::move(cut))) summarize(std::move(w));
+  };
+
+  try {
+    while (auto msg = ingress.recv()) {
+      archive_reader r(*msg);
+      switch (r.get<wire_tag>()) {
+        case wire_tag::sample_batch: {
+          const auto batch = read_sample_batch(r);
+          for (const auto& s : batch.samples)
+            assembler.ingest(batch.trajectory_id, s, on_cut);
+          break;
+        }
+        case wire_tag::task_done:
+          out.result.completions.push_back(read_task_done(r));
+          break;
+        case wire_tag::quantum_trace:
+          out.result.trace.push_back(read_quantum_record(r));
+          break;
+        default:
+          util::ensures(false, "unknown wire tag");
+      }
+    }
+  } catch (...) {
+    // Unwinding past joinable threads would std::terminate; drain first so
+    // contract violations stay catchable.
+    join_hosts();
+    throw;
+  }
+  join_hosts();
+
+  for (auto& w : builder.flush()) summarize(std::move(w));
+  util::ensures(assembler.drained(), "alignment buffer not drained at EOS");
+  util::ensures(out.result.completions.size() == base.num_trajectories,
+                "lost trajectory completions");
+
+  out.messages = static_cast<std::size_t>(ingress.messages_sent());
+  out.bytes = static_cast<double>(ingress.bytes_sent());
+  out.result.wall_seconds = sw.elapsed_s();
+  return out;
+}
+
+}  // namespace dist

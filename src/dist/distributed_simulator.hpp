@@ -1,0 +1,56 @@
+// The distributed deployment of the CWC simulation-analysis pipeline
+// (paper §IV-B, Fig. 2 bottom): a virtual cluster of multicore hosts, each
+// running a farm of simulation engines over its partition of the
+// trajectories, streaming serialized sample batches to a master that runs
+// the alignment + sliding-window + statistics stages on-line.
+//
+// Because every trajectory's engine is seeded by (seed, trajectory_id) and
+// the alignment stage indexes cut values by trajectory id, the distributed
+// run reproduces the shared-memory simulator's windowed statistics
+// bit-exactly, regardless of how trajectories are partitioned or how
+// messages interleave on the network.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cwcsim.hpp"
+#include "dist/net_channel.hpp"
+#include "dist/wire.hpp"
+
+namespace dist {
+
+/// Deployment description: the base pipeline configuration plus the shape
+/// of the virtual cluster and its network.
+struct dist_config {
+  cwcsim::sim_config base;
+  unsigned num_hosts = 2;        ///< simulated multicore hosts
+  unsigned workers_per_host = 2; ///< simulation engines per host
+  net_params network;            ///< host -> master link model
+};
+
+/// Distributed run output: the ordinary simulation result plus the traffic
+/// that crossed the (simulated) network.
+struct dist_result {
+  cwcsim::simulation_result result;
+  std::size_t messages = 0;  ///< messages received by the master
+  double bytes = 0.0;        ///< serialized payload bytes shipped
+};
+
+class distributed_simulator {
+ public:
+  distributed_simulator(const cwc::model& m, dist_config cfg);
+  distributed_simulator(const cwc::reaction_network& n, dist_config cfg);
+
+  const dist_config& config() const noexcept { return cfg_; }
+
+  /// Execute the virtual cluster and gather the master's results.
+  dist_result run();
+
+ private:
+  void validate() const;
+
+  cwcsim::model_ref model_;
+  dist_config cfg_;
+};
+
+}  // namespace dist

@@ -1,0 +1,66 @@
+#include "dist/net_channel.hpp"
+
+#include <thread>
+
+namespace dist {
+
+void net_channel::add_writer() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++writers_;
+}
+
+void net_channel::close_writer() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (writers_ > 0) --writers_;
+  if (writers_ == 0) cv_.notify_all();
+}
+
+void net_channel::send(byte_buffer msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto now = clock::now();
+
+  // Serialisation occupies the link for size/bandwidth seconds; messages
+  // queue behind whatever the link is still transmitting.
+  auto start = now > link_free_at_ ? now : link_free_at_;
+  if (params_.bytes_per_s > 0.0) {
+    const auto tx = std::chrono::duration_cast<clock::duration>(
+        std::chrono::duration<double>(static_cast<double>(msg.size()) /
+                                      params_.bytes_per_s));
+    link_free_at_ = start + tx;
+  } else {
+    link_free_at_ = start;
+  }
+  const auto latency = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(params_.latency_s));
+
+  ++messages_;
+  bytes_ += msg.size();
+  q_.push_back(in_flight{std::move(msg), link_free_at_ + latency});
+  cv_.notify_one();
+}
+
+std::optional<byte_buffer> net_channel::recv() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return !q_.empty() || writers_ == 0; });
+  if (q_.empty()) return std::nullopt;
+
+  in_flight m = std::move(q_.front());
+  q_.pop_front();
+  lk.unlock();
+
+  // Model the in-flight delay outside the lock so senders are not blocked.
+  std::this_thread::sleep_until(m.deliver_at);
+  return std::move(m.payload);
+}
+
+std::uint64_t net_channel::messages_sent() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return messages_;
+}
+
+std::uint64_t net_channel::bytes_sent() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_;
+}
+
+}  // namespace dist

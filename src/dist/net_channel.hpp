@@ -1,0 +1,77 @@
+// A simulated network link between hosts of the virtual cluster: a
+// thread-safe MPSC message queue with latency + bandwidth delay modeling
+// and traffic accounting. Stands in for the TCP streams of the paper's
+// distributed deployment while keeping runs reproducible.
+//
+// Semantics:
+//   - add_writer()/close_writer() bracket each producer; recv() returns
+//     std::nullopt once every writer has closed and the queue is drained.
+//   - Messages from one writer are delivered in the order they were sent.
+//   - Each message becomes available latency_s + serialisation time after
+//     send(); the link serialises messages at bytes_per_s (0 = infinite).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "dist/archive.hpp"
+
+namespace dist {
+
+/// Link performance parameters (paper §IV-B: "the performance of the
+/// network" is a first-class knob of the distributed runtime).
+struct net_params {
+  double latency_s = 0.0;     ///< one-way propagation delay
+  double bytes_per_s = 0.0;   ///< link bandwidth; 0 disables throttling
+};
+
+class net_channel {
+ public:
+  net_channel() = default;
+  explicit net_channel(net_params p) : params_(p) {}
+
+  net_channel(const net_channel&) = delete;
+  net_channel& operator=(const net_channel&) = delete;
+
+  /// Register one producer. Must be called before that producer send()s.
+  void add_writer();
+
+  /// Producer is done; the last close unblocks any pending recv().
+  void close_writer();
+
+  /// Enqueue one message (thread-safe). The message becomes visible to
+  /// recv() after the modeled network delay.
+  void send(byte_buffer msg);
+
+  /// Dequeue the next message, blocking until one is available or every
+  /// writer has closed (then std::nullopt). Honours the modeled delivery
+  /// time of the message.
+  std::optional<byte_buffer> recv();
+
+  std::uint64_t messages_sent() const;
+  std::uint64_t bytes_sent() const;
+  const net_params& params() const noexcept { return params_; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  struct in_flight {
+    byte_buffer payload;
+    clock::time_point deliver_at;
+  };
+
+  net_params params_{};
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<in_flight> q_;
+  clock::time_point link_free_at_{};  ///< when the link finishes the last send
+  std::size_t writers_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace dist

@@ -1,0 +1,82 @@
+#include "dist/wire.hpp"
+
+namespace dist {
+
+void write_sample_batch(archive_writer& w, const cwcsim::sample_batch& b) {
+  w.put<std::uint64_t>(b.trajectory_id);
+  w.put<std::uint64_t>(b.samples.size());
+  for (const auto& s : b.samples) {
+    w.put<double>(s.time);
+    w.put_vector<double>(s.values);
+  }
+}
+
+cwcsim::sample_batch read_sample_batch(archive_reader& r) {
+  cwcsim::sample_batch b;
+  b.trajectory_id = r.get<std::uint64_t>();
+  const auto n = r.get<std::uint64_t>();
+  b.samples.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    cwc::trajectory_sample s;
+    s.time = r.get<double>();
+    s.values = r.get_vector<double>();
+    b.samples.push_back(std::move(s));
+  }
+  return b;
+}
+
+void write_task_done(archive_writer& w, const cwcsim::task_done& d) {
+  w.put<std::uint64_t>(d.trajectory_id);
+  w.put<std::uint64_t>(d.quanta);
+  w.put<std::uint64_t>(d.steps);
+}
+
+cwcsim::task_done read_task_done(archive_reader& r) {
+  cwcsim::task_done d;
+  d.trajectory_id = r.get<std::uint64_t>();
+  d.quanta = r.get<std::uint64_t>();
+  d.steps = r.get<std::uint64_t>();
+  return d;
+}
+
+void write_quantum_record(archive_writer& w, const cwcsim::quantum_record& q) {
+  w.put<std::uint64_t>(q.trajectory_id);
+  w.put<std::uint64_t>(q.quantum_index);
+  w.put<std::uint64_t>(q.ssa_steps);
+  w.put<std::uint64_t>(q.wall_ns);
+  w.put<std::uint32_t>(q.samples);
+}
+
+cwcsim::quantum_record read_quantum_record(archive_reader& r) {
+  cwcsim::quantum_record q;
+  q.trajectory_id = r.get<std::uint64_t>();
+  q.quantum_index = r.get<std::uint64_t>();
+  q.ssa_steps = r.get<std::uint64_t>();
+  q.wall_ns = r.get<std::uint64_t>();
+  q.samples = r.get<std::uint32_t>();
+  return q;
+}
+
+byte_buffer encode_sample_batch(const cwcsim::sample_batch& b) {
+  archive_writer w;
+  write_sample_batch(w, b);
+  return w.take();
+}
+
+cwcsim::sample_batch decode_sample_batch(const byte_buffer& bytes) {
+  archive_reader r(bytes);
+  return read_sample_batch(r);
+}
+
+byte_buffer encode_task_done(const cwcsim::task_done& d) {
+  archive_writer w;
+  write_task_done(w, d);
+  return w.take();
+}
+
+cwcsim::task_done decode_task_done(const byte_buffer& bytes) {
+  archive_reader r(bytes);
+  return read_task_done(r);
+}
+
+}  // namespace dist

@@ -1,0 +1,35 @@
+// Wire codecs for the pipeline messages that cross host boundaries in the
+// distributed deployment: per-quantum sample batches (worker -> master
+// alignment stage) and completion notices (worker -> master scheduler).
+#pragma once
+
+#include "core/messages.hpp"
+#include "dist/archive.hpp"
+
+namespace dist {
+
+/// Message kind tag prepended by the distributed simulator so a single
+/// channel can carry heterogeneous traffic.
+enum class wire_tag : std::uint8_t {
+  sample_batch = 1,
+  task_done = 2,
+  quantum_trace = 3,
+};
+
+// Streaming forms: append to / read from an open archive, so callers can
+// frame messages (tag + payload) without re-copying the encoded bytes.
+void write_sample_batch(archive_writer& w, const cwcsim::sample_batch& b);
+cwcsim::sample_batch read_sample_batch(archive_reader& r);
+void write_task_done(archive_writer& w, const cwcsim::task_done& d);
+cwcsim::task_done read_task_done(archive_reader& r);
+void write_quantum_record(archive_writer& w, const cwcsim::quantum_record& q);
+cwcsim::quantum_record read_quantum_record(archive_reader& r);
+
+// Whole-buffer convenience forms.
+byte_buffer encode_sample_batch(const cwcsim::sample_batch& b);
+cwcsim::sample_batch decode_sample_batch(const byte_buffer& bytes);
+
+byte_buffer encode_task_done(const cwcsim::task_done& d);
+cwcsim::task_done decode_task_done(const byte_buffer& bytes);
+
+}  // namespace dist

@@ -118,7 +118,9 @@ TEST(Pipeline, WindowsCarryCorrectSpans) {
   ASSERT_EQ(res.windows.size(), 6u);
   for (std::size_t i = 0; i < res.windows.size(); ++i) {
     EXPECT_EQ(res.windows[i].first_sample, i * 8);
-    if (i + 1 < res.windows.size()) EXPECT_EQ(res.windows[i].cuts.size(), 8u);
+    if (i + 1 < res.windows.size()) {
+      EXPECT_EQ(res.windows[i].cuts.size(), 8u);
+    }
   }
 }
 

@@ -1,0 +1,131 @@
+// Additional distributed-runtime coverage beyond the seed suite:
+// bandwidth throttling timing, empty-buffer reads, and degenerate
+// zero-length containers on the wire.
+#include <gtest/gtest.h>
+
+#include "dist/dist.hpp"
+#include "models/models.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+TEST(NetChannelTiming, BandwidthThrottlesLargeMessages) {
+  dist::net_params p;
+  p.bytes_per_s = 1e6;  // 1 MB/s: a 100 kB message takes >= 0.1 s
+  dist::net_channel ch(p);
+  ch.add_writer();
+
+  util::stopwatch sw;
+  ch.send(dist::byte_buffer(100 * 1000, std::byte{0xAB}));
+  auto m = ch.recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->size(), 100u * 1000u);
+  EXPECT_GE(sw.elapsed_s(), 0.09);
+  ch.close_writer();
+  EXPECT_EQ(ch.bytes_sent(), 100u * 1000u);
+}
+
+TEST(NetChannelTiming, SmallMessageNotThrottled) {
+  dist::net_params p;
+  p.bytes_per_s = 100e6;
+  dist::net_channel ch(p);
+  ch.add_writer();
+  util::stopwatch sw;
+  ch.send({std::byte{1}});
+  ASSERT_TRUE(ch.recv().has_value());
+  // 1 byte at 100 MB/s models as ~10 ns; the bound is deliberately loose so
+  // a loaded CI runner cannot flake it.
+  EXPECT_LT(sw.elapsed_s(), 0.5);
+  ch.close_writer();
+}
+
+TEST(NetChannelTiming, BackToBackMessagesQueueOnTheLink) {
+  dist::net_params p;
+  p.bytes_per_s = 1e6;
+  dist::net_channel ch(p);
+  ch.add_writer();
+  // Two 50 kB messages serialise back to back: the second is only
+  // delivered once the link has carried both (>= 0.1 s total).
+  ch.send(dist::byte_buffer(50 * 1000, std::byte{1}));
+  ch.send(dist::byte_buffer(50 * 1000, std::byte{2}));
+  ch.close_writer();
+  util::stopwatch sw;
+  ASSERT_TRUE(ch.recv().has_value());
+  ASSERT_TRUE(ch.recv().has_value());
+  EXPECT_GE(sw.elapsed_s(), 0.09);
+}
+
+TEST(ArchiveEdge, EmptyBufferReads) {
+  const dist::byte_buffer empty;
+  dist::archive_reader r(empty);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.get<std::uint8_t>(), std::runtime_error);
+  EXPECT_THROW(r.get_string(), std::runtime_error);
+  EXPECT_THROW(r.get_vector<double>(), std::runtime_error);
+}
+
+TEST(ArchiveEdge, ZeroLengthVectorRoundTrip) {
+  dist::archive_writer w;
+  w.put_vector<double>({});
+  w.put<std::uint32_t>(0xBEEF);
+  const auto bytes = w.take();
+
+  dist::archive_reader r(bytes);
+  EXPECT_TRUE(r.get_vector<double>().empty());
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xBEEFu);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ArchiveEdge, TakeLeavesWriterEmpty) {
+  dist::archive_writer w;
+  w.put<int>(1);
+  EXPECT_GT(w.size(), 0u);
+  (void)w.take();
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(ArchiveEdge, CorruptVectorLengthThrows) {
+  dist::archive_writer w;
+  w.put<std::uint64_t>(1u << 20);  // claims 2^20 doubles, provides none
+  const auto bytes = w.take();
+  dist::archive_reader r(bytes);
+  EXPECT_THROW(r.get_vector<double>(), std::runtime_error);
+}
+
+TEST(DistributedConfig, RejectsNonPositiveQuantum) {
+  const auto net = models::make_birth_death({});
+  dist::dist_config dc;
+  dc.base.num_trajectories = 4;
+  dc.base.quantum = 0.0;  // would never advance simulated time
+  EXPECT_THROW(dist::distributed_simulator(net, dc), util::precondition_error);
+}
+
+TEST(DistributedTrace, CapturesPerQuantumRecords) {
+  const auto net = models::make_birth_death({});
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = 4;
+  cfg.t_end = 4.0;
+  cfg.sample_period = 0.5;
+  cfg.quantum = 2.0;
+  cfg.kmeans_k = 0;
+  cfg.capture_trace = true;
+
+  dist::dist_config dc;
+  dc.base = cfg;
+  dc.num_hosts = 2;
+  dc.workers_per_host = 1;
+  auto dr = dist::distributed_simulator(net, dc).run();
+
+  // One record per executed quantum, shipped over the wire like any other
+  // message (completions report each trajectory's quantum count).
+  std::uint64_t quanta = 0;
+  for (const auto& d : dr.result.completions) quanta += d.quanta;
+  EXPECT_GT(quanta, 0u);
+  EXPECT_EQ(dr.result.trace.size(), quanta);
+  for (const auto& rec : dr.result.trace) {
+    EXPECT_LT(rec.trajectory_id, cfg.num_trajectories);
+  }
+}
+
+}  // namespace
