@@ -1,0 +1,61 @@
+// Streaming-latency harness for the unified run API: how long until the
+// first filtered window reaches an on_window subscriber, versus how long
+// the whole batch takes — the "results while still running" property the
+// paper's on-line analysis is for. Sweeps the window slide (the knob that
+// trades smoothing for first-result latency) on the multicore backend and
+// prints one row per configuration.
+//
+//   ./stream_latency [--trajectories 64] [--t-end 60] [--workers 4]
+#include <cstdio>
+#include <vector>
+
+#include "core/cwcsim.hpp"
+#include "models/models.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  const util::cli cli(argc, argv);
+  const auto model = models::make_neurospora_cwc({});
+
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories =
+      static_cast<std::uint64_t>(cli.get_int("trajectories", 64));
+  cfg.t_end = cli.get_double("t-end", 60.0);
+  cfg.sample_period = 0.5;
+  cfg.quantum = 5.0;
+  cfg.sim_workers = static_cast<unsigned>(cli.get_int("workers", 4));
+  cfg.stat_engines = 2;
+  cfg.kmeans_k = 0;
+
+  std::printf("%8s %10s %16s %14s %10s\n", "window", "windows",
+              "first-window ms", "last-window ms", "wall ms");
+  for (const std::size_t window : {4u, 8u, 16u, 32u}) {
+    cfg.window_size = window;
+    cfg.window_slide = window;
+
+    util::stopwatch sw;
+    double first_ms = 0.0;
+    double last_ms = 0.0;
+    std::size_t windows = 0;
+    auto session = cwcsim::run_builder().model(model).config(cfg).open();
+    session.on_window([&](const cwcsim::window_summary&) {
+      last_ms = sw.elapsed_s() * 1e3;
+      if (windows++ == 0) first_ms = last_ms;
+    });
+    const auto report = session.wait();
+    const double wall_ms = sw.elapsed_s() * 1e3;
+
+    std::printf("%8zu %10zu %16.2f %14.2f %10.2f\n", window, windows, first_ms,
+                last_ms, wall_ms);
+    if (report.result.windows.size() != windows) {
+      std::fprintf(stderr, "stream/report mismatch!\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nSmaller windows surface the first filtered results sooner at the\n"
+      "same total wall time — the on-line analysis trade-off the session\n"
+      "API exposes directly.\n");
+  return 0;
+}

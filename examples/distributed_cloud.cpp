@@ -8,6 +8,7 @@
 //   ./distributed_cloud [--hosts 4] [--workers-per-host 2] [--trajectories 32]
 #include <cstdio>
 
+#include "core/cwcsim.hpp"
 #include "des/des.hpp"
 #include "dist/dist.hpp"
 #include "models/models.hpp"
@@ -29,20 +30,29 @@ int main(int argc, char** argv) {
   cfg.window_slide = 8;
   cfg.kmeans_k = 0;
 
-  dist::dist_config dc;
-  dc.base = cfg;
-  dc.num_hosts = static_cast<unsigned>(cli.get_int("hosts", 4));
-  dc.workers_per_host = static_cast<unsigned>(cli.get_int("workers-per-host", 2));
-  dc.network.latency_s = 120e-6;  // EC2-like
-  dc.network.bytes_per_s = 90e6;
+  // The unified streaming facade: the same run_builder program would run
+  // multicore or GPU by swapping this one backend value.
+  cwcsim::distributed be;
+  be.num_hosts = static_cast<unsigned>(cli.get_int("hosts", 4));
+  be.workers_per_host = static_cast<unsigned>(cli.get_int("workers-per-host", 2));
+  be.network.latency_s = 120e-6;  // EC2-like
+  be.network.bytes_per_s = 90e6;
 
   std::printf("virtual cluster: %u hosts x %u engines, EC2-like network\n",
-              dc.num_hosts, dc.workers_per_host);
-  auto dr = dist::distributed_simulator(model, dc).run();
-  std::printf("  wall %.2f s, %zu messages, %.1f kB serialized\n",
-              dr.result.wall_seconds, dr.messages, dr.bytes / 1e3);
+              be.num_hosts, be.workers_per_host);
+  auto session =
+      cwcsim::run_builder().model(model).config(cfg).backend(be).open();
+  std::size_t windows_streamed = 0;
+  session.on_window(
+      [&](const cwcsim::window_summary&) { ++windows_streamed; });
+  const auto dr = session.wait();
+  std::printf(
+      "  wall %.2f s, %zu messages, %.1f kB serialized, %zu windows "
+      "streamed on-line\n",
+      dr.result.wall_seconds, dr.network->messages, dr.network->bytes / 1e3,
+      windows_streamed);
 
-  cfg.sim_workers = dc.num_hosts * dc.workers_per_host;
+  cfg.sim_workers = be.num_hosts * be.workers_per_host;
   const auto mc = cwcsim::simulate(model, cfg);
   bool identical = mc.windows.size() == dr.result.windows.size();
   if (identical) {

@@ -6,6 +6,7 @@
 //   ./gpu_offload [--trajectories 256] [--t-end 30]
 #include <cstdio>
 
+#include "core/cwcsim.hpp"
 #include "models/models.hpp"
 #include "simt/simt.hpp"
 #include "util/cli.hpp"
@@ -32,11 +33,14 @@ int main(int argc, char** argv) {
               "divergence", "mean M(T)");
   for (const double q : {0.5, 1.0, 2.5, 5.0, 10.0}) {
     cfg.quantum = q;
-    auto out = simt::gpu_simulator(model, cfg, dev).run();
-    const auto cuts = out.result.all_cuts();
+    // The unified facade: swap cwcsim::gpu{dev} for multicore{} or
+    // distributed{...} and the same program runs there instead.
+    const auto report = cwcsim::run(model, cfg, cwcsim::gpu{dev});
+    const auto cuts = report.result.all_cuts();
     std::printf("%10.1f %10llu %12.3f s %13.2fx %10.1f\n", q,
-                static_cast<unsigned long long>(out.kernels),
-                out.device_seconds, out.divergence_factor,
+                static_cast<unsigned long long>(report.device->kernels),
+                report.device->device_seconds,
+                report.device->divergence_factor,
                 cuts.back().moments[0].mean());
   }
   std::printf(

@@ -33,7 +33,18 @@ int main(int argc, char** argv) {
 
   std::printf("Simulating %llu trajectories of the Neurospora model to t=%g h\n",
               static_cast<unsigned long long>(cfg.num_trajectories), cfg.t_end);
-  const auto result = cwcsim::simulate(model, cfg);
+  // The unified facade with a progress subscription: completions stream in
+  // while the campaign runs (swap the third argument to change deployment).
+  auto session = cwcsim::run_builder().model(model).config(cfg).open();
+  session.on_progress([&, announced = false](const cwcsim::progress& p) mutable {
+    if (p.trajectories_done == p.trajectories_total && !announced) {
+      announced = true;
+      std::printf("  all %llu trajectories done, %llu windows streamed\n",
+                  static_cast<unsigned long long>(p.trajectories_done),
+                  static_cast<unsigned long long>(p.windows_emitted));
+    }
+  });
+  const auto result = session.wait().result;
   std::printf("pipeline wall time: %.2f s\n\n", result.wall_seconds);
 
   // --- per-oscillation local periods of one representative trajectory ----

@@ -1,5 +1,7 @@
-// Quickstart: define a CWC model from text, run the parallel
-// simulation-analysis pipeline, and print the filtered (mean ± sd) series.
+// Quickstart: define a CWC model from text and run it through the unified
+// streaming API — windows of filtered (mean ± sd) statistics are printed
+// *as they stream out of the analysis pipeline*, while the simulation is
+// still running (the paper's on-line analysis surface).
 //
 //   ./quickstart [--trajectories 64] [--t-end 30] [--workers 4]
 #include <cstdio>
@@ -35,19 +37,36 @@ int main(int argc, char** argv) {
   cfg.window_slide = 10;
   cfg.kmeans_k = 0;
 
-  // 3. Run and consume the on-line analysis results.
-  const auto result = cwcsim::simulate(model, cfg);
+  // 3. Open a session and subscribe to the window stream. Swapping the
+  //    .backend(...) argument — cwcsim::multicore{}, ::distributed{...},
+  //    ::gpu{...} — moves the same program between deployments.
+  auto session = cwcsim::run_builder()
+                     .model(model)
+                     .config(cfg)
+                     .backend(cwcsim::multicore{})
+                     .open();
 
-  std::printf("# %llu trajectories, %u sim workers, %.2fs wall\n",
-              static_cast<unsigned long long>(cfg.num_trajectories),
-              cfg.sim_workers, result.wall_seconds);
   std::printf("%8s %12s %12s %12s %12s\n", "t", "mean(S)", "sd(S)", "mean(P)",
               "sd(P)");
-  for (const auto& cut : result.all_cuts()) {
-    if (cut.sample_index % 10 != 0) continue;
-    std::printf("%8.1f %12.2f %12.2f %12.2f %12.2f\n", cut.time,
-                cut.moments[0].mean(), cut.moments[0].stddev(),
-                cut.moments[1].mean(), cut.moments[1].stddev());
-  }
+  session.on_window([](const cwcsim::window_summary& w) {
+    // Called on-line, in time order, while the simulation is running.
+    for (const auto& cut : w.cuts) {
+      if (cut.sample_index % 10 != 0) continue;
+      std::printf("%8.1f %12.2f %12.2f %12.2f %12.2f\n", cut.time,
+                  cut.moments[0].mean(), cut.moments[0].stddev(),
+                  cut.moments[1].mean(), cut.moments[1].stddev());
+    }
+  });
+
+  // 4. wait() starts the run, streams, and returns the unified report —
+  //    the same windows, bit-exact, plus backend extras. (The one-liner
+  //    batch alternative: auto result = cwcsim::simulate(model, cfg);
+  //    or, backend-portable: auto report = cwcsim::run(model, cfg);)
+  const auto report = session.wait();
+
+  std::printf("# %llu trajectories, %u sim workers, %s backend, %.2fs wall\n",
+              static_cast<unsigned long long>(cfg.num_trajectories),
+              cfg.sim_workers, report.backend.c_str(),
+              report.result.wall_seconds);
   return 0;
 }

@@ -27,26 +27,32 @@ int main(int argc, char** argv) {
   cfg.window_slide = 8;
   cfg.kmeans_k = 2;
 
-  const auto result = cwcsim::simulate(net, cfg);
-
   std::printf("Schlogl bistability: k-means(k=2) per cut over %llu trajectories\n",
               static_cast<unsigned long long>(cfg.num_trajectories));
   std::printf("%8s %14s %14s %10s %10s\n", "t", "centroid-low", "centroid-high",
               "n(low)", "n(high)");
-  for (const auto& cut : result.all_cuts()) {
-    if (cut.sample_index % 4 != 0 || cut.clusters.centroids.size() != 2) continue;
-    double lo = cut.clusters.centroids[0][0];
-    double hi = cut.clusters.centroids[1][0];
-    std::uint64_t nlo = cut.clusters.sizes[0];
-    std::uint64_t nhi = cut.clusters.sizes[1];
-    if (lo > hi) {
-      std::swap(lo, hi);
-      std::swap(nlo, nhi);
+
+  // Stream each window's classifications as the analysis pipeline emits
+  // them — the on-line surface a monitoring GUI would subscribe to.
+  auto session = cwcsim::run_builder().model(net).config(cfg).open();
+  session.on_window([](const cwcsim::window_summary& w) {
+    for (const auto& cut : w.cuts) {
+      if (cut.sample_index % 4 != 0 || cut.clusters.centroids.size() != 2)
+        continue;
+      double lo = cut.clusters.centroids[0][0];
+      double hi = cut.clusters.centroids[1][0];
+      std::uint64_t nlo = cut.clusters.sizes[0];
+      std::uint64_t nhi = cut.clusters.sizes[1];
+      if (lo > hi) {
+        std::swap(lo, hi);
+        std::swap(nlo, nhi);
+      }
+      std::printf("%8.1f %14.1f %14.1f %10llu %10llu\n", cut.time, lo, hi,
+                  static_cast<unsigned long long>(nlo),
+                  static_cast<unsigned long long>(nhi));
     }
-    std::printf("%8.1f %14.1f %14.1f %10llu %10llu\n", cut.time, lo, hi,
-                static_cast<unsigned long long>(nlo),
-                static_cast<unsigned long long>(nhi));
-  }
+  });
+  (void)session.wait();
   std::printf(
       "\nThe population splits between the low (~85) and high (~565)\n"
       "macroscopic states; ODE modelling would show only one of them\n"

@@ -1,0 +1,144 @@
+// The pluggable-backend layer of the unified streaming run API.
+//
+// A *backend* is a value describing where the simulation-analysis pipeline
+// executes: the shared-memory multicore farm, the distributed virtual
+// cluster, or the SIMT/GPU execution model. All three are driven through
+// the same backend_driver interface, which pushes window summaries and
+// trajectory completions through an event_sink *as the gather stage emits
+// them* — the streaming surface the paper's on-line analysis is about —
+// instead of returning everything in one batch at the end.
+//
+// Layering note: the descriptor types below embed only header-only POD
+// configuration (dist::net_params, simt::device_spec); the heavyweight
+// driver implementations live in src/dist and src/simt and are linked in
+// through the cwcsim umbrella library (see detail::make_*_driver).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "core/config.hpp"
+#include "core/events.hpp"
+#include "core/messages.hpp"
+#include "core/result.hpp"
+#include "dist/net_params.hpp"
+#include "simt/device.hpp"
+#include "util/check.hpp"
+
+namespace cwcsim {
+
+// --------------------------------------------------------------- diagnostics
+
+/// Thrown by validate()/run_builder for a rejected configuration. Derives
+/// from util::precondition_error so existing catch sites keep working;
+/// field() names the offending knob for typed diagnostics.
+class config_error : public util::precondition_error {
+ public:
+  config_error(std::string field, const std::string& what)
+      : util::precondition_error("invalid config [" + field + "]: " + what),
+        field_(std::move(field)) {}
+
+  const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::string field_;
+};
+
+// ---------------------------------------------------------------- descriptors
+
+/// Run on this process's cores: the Fig. 2 farm of cfg.sim_workers
+/// simulation engines and cfg.stat_engines statistical engines.
+struct multicore {};
+
+/// Run on a virtual cluster (paper §IV-B): num_hosts multicore hosts of
+/// workers_per_host engines stream serialized batches over the modeled
+/// network to a master running the analysis stages on-line.
+struct distributed {
+  unsigned num_hosts = 2;
+  unsigned workers_per_host = 2;
+  dist::net_params network{};
+};
+
+/// Run the simulation farm as lockstep kernels on the SIMT device model
+/// (paper §IV-C); the analysis pipeline runs host-side on-line.
+struct gpu {
+  simt::device_spec device{};
+  /// Path-decoherence time of the divergence model (see simt::gpu_params).
+  double coherence_time = 25.0;
+};
+
+/// Where a run executes. Swap this one value to move the same model and
+/// sim_config between deployments. run_report::backend carries the chosen
+/// driver's name() after a run.
+using backend = std::variant<multicore, distributed, gpu>;
+
+// ----------------------------------------------------------------- validation
+
+/// Reject a degenerate pipeline configuration with a typed config_error.
+/// The single source of truth used by every backend and by run_builder.
+void validate(const sim_config& cfg);
+
+/// Base checks plus the backend-specific ones (cluster shape, device shape).
+void validate(const sim_config& cfg, const backend& b);
+
+// --------------------------------------------------------------------- report
+
+/// The unified result of a run: the ordinary simulation_result plus
+/// structured per-backend extras.
+struct run_report {
+  simulation_result result;
+  std::string backend;   ///< name() of the driver that ran
+  bool stopped = false;  ///< ended early via session::request_stop()
+
+  struct network_stats {
+    std::size_t messages = 0;  ///< messages received by the master
+    double bytes = 0.0;        ///< serialized payload bytes shipped
+  };
+  struct device_stats {
+    double device_seconds = 0.0;     ///< modeled kernel time (virtual)
+    double divergence_factor = 1.0;  ///< warp-seconds / lane-seconds
+    std::uint64_t kernels = 0;
+  };
+  std::optional<network_stats> network;  ///< distributed runs only
+  std::optional<device_stats> device;    ///< gpu runs only
+};
+
+// --------------------------------------------------------------------- driver
+
+/// The common contract every deployment implements. run() blocks until the
+/// campaign completes (or stop is honoured), pushing windows and
+/// completions through the sink as the gather stage emits them and filling
+/// everything in `report` EXCEPT result.windows, which the sink's owner
+/// collects from the stream.
+class backend_driver {
+ public:
+  virtual ~backend_driver() = default;
+
+  virtual const char* name() const noexcept = 0;
+  virtual void run(event_sink& sink, run_report& report) = 0;
+};
+
+namespace detail {
+
+// Factory per descriptor. Implementations live with their runtimes
+// (core/simulator.cpp, dist/dist_backend.cpp, simt/gpu_backend.cpp) and
+// resolve when linking the cwcsim umbrella library.
+std::unique_ptr<backend_driver> make_multicore_driver(const model_ref& model,
+                                                      const sim_config& cfg,
+                                                      const multicore& b);
+std::unique_ptr<backend_driver> make_distributed_driver(const model_ref& model,
+                                                        const sim_config& cfg,
+                                                        const distributed& b);
+std::unique_ptr<backend_driver> make_gpu_driver(const model_ref& model,
+                                                const sim_config& cfg,
+                                                const gpu& b);
+
+std::unique_ptr<backend_driver> make_driver(const model_ref& model,
+                                            const sim_config& cfg,
+                                            const backend& b);
+
+}  // namespace detail
+}  // namespace cwcsim

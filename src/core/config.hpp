@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "cwc/sampling.hpp"
 #include "ff/node.hpp"
 
 namespace cwcsim {
@@ -35,8 +36,10 @@ struct sim_config {
   bool capture_trace = false;  ///< record per-quantum service times for DES
 
   /// Number of sample points per trajectory (k = 0 .. num_samples-1).
+  /// Tolerant of floating-point truncation: 30 / 0.1 landing at 299.999…
+  /// still yields 301 points, matching what the engines emit.
   std::uint64_t num_samples() const noexcept {
-    return static_cast<std::uint64_t>(t_end / sample_period) + 1;
+    return cwc::num_sample_points(t_end, sample_period);
   }
 };
 

@@ -1,8 +1,12 @@
 // Umbrella header: the CWC simulation-analysis pipeline public API.
 #pragma once
 
+#include "core/backend.hpp"
 #include "core/config.hpp"
+#include "core/events.hpp"
 #include "core/messages.hpp"
 #include "core/nodes.hpp"
+#include "core/online_analysis.hpp"
 #include "core/result.hpp"
+#include "core/session.hpp"
 #include "core/simulator.hpp"

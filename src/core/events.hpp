@@ -1,0 +1,57 @@
+// The streaming-event surface between backends and their consumer: what a
+// running deployment pushes results into, and the cooperative stop flag it
+// polls. Split from backend.hpp so the core pipeline layer (nodes,
+// simulator) can depend on the event contract without seeing the
+// backend-descriptor headers that sit above it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/messages.hpp"
+
+namespace cwcsim {
+
+/// Progress snapshot delivered to on_progress subscribers.
+struct progress {
+  std::uint64_t trajectories_done = 0;
+  std::uint64_t trajectories_total = 0;
+  std::uint64_t windows_emitted = 0;
+};
+
+/// What a backend driver pushes results into while running. Implementations
+/// must tolerate concurrent calls from different pipeline threads (the
+/// session serializes delivery internally). stop_requested() is the
+/// cooperative-cancellation flag drivers poll at scheduling boundaries.
+class event_sink {
+ public:
+  virtual ~event_sink() = default;
+
+  /// One window summary, in time (first_sample) order. The driver hands
+  /// over ownership and must NOT also store it in run_report::result —
+  /// the caller owns collection (no terminal gather-then-copy).
+  virtual void window(window_summary&& w) = 0;
+
+  /// One trajectory reached t_end (streamed as completions happen).
+  virtual void trajectory_done(const task_done& d) = 0;
+
+  /// True once cancellation was requested; drivers finish the current
+  /// quantum/kernel, stop scheduling new work, and drain.
+  virtual bool stop_requested() const noexcept = 0;
+};
+
+/// event_sink that simply collects the stream — used by the legacy batch
+/// wrappers and handy in tests.
+class collecting_sink final : public event_sink {
+ public:
+  void window(window_summary&& w) override { windows_.push_back(std::move(w)); }
+  void trajectory_done(const task_done&) override {}
+  bool stop_requested() const noexcept override { return false; }
+
+  std::vector<window_summary> take_windows() { return std::move(windows_); }
+
+ private:
+  std::vector<window_summary> windows_;
+};
+
+}  // namespace cwcsim

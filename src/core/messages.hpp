@@ -38,6 +38,20 @@ class any_engine {
   std::variant<cwc::engine, cwc::flat_engine> impl_;
 };
 
+/// Either model kind accepted by the pipeline.
+struct model_ref {
+  const cwc::model* tree = nullptr;
+  const cwc::reaction_network* flat = nullptr;
+
+  std::size_t num_observables() const {
+    return tree != nullptr ? tree->observables().size() : flat->num_species();
+  }
+  any_engine make_engine(std::uint64_t seed, std::uint64_t id) const {
+    if (tree != nullptr) return any_engine(*tree, seed, id);
+    return any_engine(*flat, seed, id);
+  }
+};
+
 /// A simulation task: one trajectory advanced quantum by quantum. Tasks are
 /// "wrapped in a C++ object ... passed to the farm of simulation engines"
 /// and rescheduled "back along the feedback channel" until t_end (paper

@@ -9,8 +9,9 @@ namespace cwcsim {
 
 // ---------------------------------------------------------------- generator
 
-task_generator::task_generator(model_ref model, const sim_config& cfg)
-    : model_(model), cfg_(&cfg) {
+task_generator::task_generator(model_ref model, const sim_config& cfg,
+                               const event_sink* events)
+    : model_(model), cfg_(&cfg), events_(events) {
   set_name("task-generator");
   util::expects(model.tree != nullptr || model.flat != nullptr,
                 "task_generator requires a model");
@@ -19,8 +20,9 @@ task_generator::task_generator(model_ref model, const sim_config& cfg)
 }
 
 task_generator::task_generator(model_ref model, const sim_config& cfg,
-                               std::vector<std::uint64_t> ids)
-    : model_(model), cfg_(&cfg), ids_(std::move(ids)) {
+                               std::vector<std::uint64_t> ids,
+                               const event_sink* events)
+    : model_(model), cfg_(&cfg), events_(events), ids_(std::move(ids)) {
   set_name("task-generator");
   util::expects(model.tree != nullptr || model.flat != nullptr,
                 "task_generator requires a model");
@@ -29,6 +31,7 @@ task_generator::task_generator(model_ref model, const sim_config& cfg,
 
 ff::outcome task_generator::svc(ff::token /*tick*/) {
   if (next_ >= ids_.size()) return ff::outcome::end;
+  if (events_ != nullptr && events_->stop_requested()) return ff::outcome::end;
   const std::uint64_t id = ids_[next_];
   auto engine = model_.make_engine(cfg_->seed, id);
   send_out(ff::token::make<sim_task>(id, std::move(engine)));
@@ -38,7 +41,8 @@ ff::outcome task_generator::svc(ff::token /*tick*/) {
 
 // ---------------------------------------------------------------- scheduler
 
-task_scheduler::task_scheduler(const sim_config& /*cfg*/) {
+task_scheduler::task_scheduler(const sim_config& /*cfg*/, event_sink* events)
+    : events_(events) {
   set_name("task-scheduler");
   set_continue_after_eos(true);
 }
@@ -50,7 +54,17 @@ ff::outcome task_scheduler::maybe_done() const noexcept {
 
 ff::outcome task_scheduler::svc(ff::token t) {
   if (t.holds<sim_task>()) {
-    if (t.as<sim_task>().quantum_index == 0) ++outstanding_;  // fresh task
+    const bool fresh = t.as<sim_task>().quantum_index == 0;
+    if (stopping()) {
+      // Cooperative cancellation: retire in-flight tasks instead of
+      // redispatching; fresh tasks were never counted as outstanding.
+      if (!fresh) {
+        util::expects(outstanding_ > 0, "retired task was not outstanding");
+        --outstanding_;
+      }
+      return maybe_done();
+    }
+    if (fresh) ++outstanding_;
     ++dispatched_;
     send_out(std::move(t));
     return ff::outcome::more;
@@ -59,6 +73,7 @@ ff::outcome task_scheduler::svc(ff::token t) {
     util::expects(outstanding_ > 0, "completion for unknown task");
     --outstanding_;
     completions_.push_back(t.as<task_done>());
+    if (events_ != nullptr) events_->trajectory_done(t.as<task_done>());
     return maybe_done();
   }
   util::ensures(false, "task_scheduler received unexpected token type");
@@ -100,8 +115,9 @@ ff::outcome sim_engine_node::svc(ff::token t) {
 // ------------------------------------------------------------------ aligner
 
 trajectory_aligner::trajectory_aligner(const sim_config& cfg,
-                                       std::size_t num_observables)
-    : assembler_(cfg, num_observables) {
+                                       std::size_t num_observables,
+                                       const event_sink* events)
+    : assembler_(cfg, num_observables), events_(events) {
   set_name("trajectory-aligner");
 }
 
@@ -117,7 +133,9 @@ ff::outcome trajectory_aligner::svc(ff::token t) {
 
 void trajectory_aligner::on_eos() {
   // A complete run leaves nothing behind; partially filled cuts indicate a
-  // trajectory loss upstream and must not silently disappear.
+  // trajectory loss upstream and must not silently disappear. A cancelled
+  // run legitimately drops the cuts its retired trajectories never filled.
+  if (events_ != nullptr && events_->stop_requested()) return;
   util::ensures(assembler_.drained(), "alignment buffer not drained at EOS");
 }
 
@@ -182,14 +200,22 @@ void reorder_gather::on_eos() {
 
 // --------------------------------------------------------------------- sink
 
-result_sink::result_sink(simulation_result* out) : out_(out) {
-  set_name("result-sink");
+result_sink::result_sink(simulation_result* out)
+    : result_sink([out](window_summary&& w) {
+        out->windows.push_back(std::move(w));
+      }) {
   util::expects(out != nullptr, "result_sink requires a destination");
+}
+
+result_sink::result_sink(std::function<void(window_summary&&)> push)
+    : push_(std::move(push)) {
+  set_name("result-sink");
+  util::expects(static_cast<bool>(push_), "result_sink requires a consumer");
 }
 
 ff::outcome result_sink::svc(ff::token t) {
   if (t.holds<window_summary>()) {
-    out_->windows.push_back(t.take<window_summary>());
+    push_(t.take<window_summary>());
     return ff::outcome::more;
   }
   util::ensures(false, "result_sink received unexpected token type");

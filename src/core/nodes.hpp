@@ -7,6 +7,7 @@
 //                       reorder_gather -> result_sink
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -14,6 +15,7 @@
 
 #include "core/alignment.hpp"
 #include "core/config.hpp"
+#include "core/events.hpp"
 #include "core/messages.hpp"
 #include "core/quantum.hpp"
 #include "core/result.hpp"
@@ -21,34 +23,24 @@
 
 namespace cwcsim {
 
-/// Either model kind accepted by the pipeline.
-struct model_ref {
-  const cwc::model* tree = nullptr;
-  const cwc::reaction_network* flat = nullptr;
-
-  std::size_t num_observables() const {
-    return tree != nullptr ? tree->observables().size() : flat->num_species();
-  }
-  any_engine make_engine(std::uint64_t seed, std::uint64_t id) const {
-    if (tree != nullptr) return any_engine(*tree, seed, id);
-    return any_engine(*flat, seed, id);
-  }
-};
-
 /// Stage 1: generation of simulation tasks. Emits one task per trajectory
 /// id, each owning a fresh engine with its own (seed, id) RNG stream. By
 /// default generates ids 0..num_trajectories-1; the distributed runtime
-/// passes each host its partition of ids instead.
+/// passes each host its partition of ids instead. When an event_sink is
+/// attached, generation ends early once stop is requested.
 class task_generator final : public ff::node {
  public:
-  task_generator(model_ref model, const sim_config& cfg);
   task_generator(model_ref model, const sim_config& cfg,
-                 std::vector<std::uint64_t> ids);
+                 const event_sink* events = nullptr);
+  task_generator(model_ref model, const sim_config& cfg,
+                 std::vector<std::uint64_t> ids,
+                 const event_sink* events = nullptr);
   ff::outcome svc(ff::token t) override;
 
  private:
   model_ref model_;
   const sim_config* cfg_;
+  const event_sink* events_;
   std::vector<std::uint64_t> ids_;
   std::size_t next_ = 0;
 };
@@ -56,10 +48,13 @@ class task_generator final : public ff::node {
 /// Farm emitter: dispatches tasks to simulation engines (on-demand by
 /// default) and receives rescheduled tasks / completion notices on the
 /// feedback channel. Terminates when the generator is done and every
-/// trajectory has completed.
+/// trajectory has completed. With an event_sink attached, completion
+/// notices are streamed through it as they happen, and once stop is
+/// requested in-flight tasks are retired instead of redispatched.
 class task_scheduler final : public ff::node {
  public:
-  explicit task_scheduler(const sim_config& cfg);
+  explicit task_scheduler(const sim_config& cfg,
+                          event_sink* events = nullptr);
   ff::outcome svc(ff::token t) override;
   ff::outcome on_upstream_eos() override;
 
@@ -72,6 +67,10 @@ class task_scheduler final : public ff::node {
 
  private:
   ff::outcome maybe_done() const noexcept;
+  bool stopping() const noexcept {
+    return events_ != nullptr && events_->stop_requested();
+  }
+  event_sink* events_;
   std::uint64_t outstanding_ = 0;
   std::uint64_t dispatched_ = 0;
   bool upstream_done_ = false;
@@ -103,7 +102,8 @@ class sim_engine_node final : public ff::node {
 /// once every trajectory has contributed its sample.
 class trajectory_aligner final : public ff::node {
  public:
-  trajectory_aligner(const sim_config& cfg, std::size_t num_observables);
+  trajectory_aligner(const sim_config& cfg, std::size_t num_observables,
+                     const event_sink* events = nullptr);
   ff::outcome svc(ff::token t) override;
   void on_eos() override;
 
@@ -111,6 +111,7 @@ class trajectory_aligner final : public ff::node {
 
  private:
   cut_assembler assembler_;
+  const event_sink* events_;
 };
 
 /// Analysis stage 1: groups the cut stream into sliding windows.
@@ -153,15 +154,18 @@ class reorder_gather final : public ff::node {
   std::uint64_t next_ = 0;
 };
 
-/// Terminal stage: accumulates ordered summaries into the simulation_result
-/// shared with the caller (stands in for the GUI/storage of Fig. 2).
+/// Terminal stage: hands each ordered summary to a consumer as the gather
+/// stage emits it (stands in for the GUI/storage of Fig. 2). The consumer
+/// is either a collecting simulation_result (batch mode) or the session's
+/// event sink (streaming mode) — no terminal gather-then-copy either way.
 class result_sink final : public ff::node {
  public:
   explicit result_sink(simulation_result* out);
+  explicit result_sink(std::function<void(window_summary&&)> push);
   ff::outcome svc(ff::token t) override;
 
  private:
-  simulation_result* out_;
+  std::function<void(window_summary&&)> push_;
 };
 
 }  // namespace cwcsim

@@ -1,68 +1,63 @@
 #include "core/simulator.hpp"
 
+#include "core/backend.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
 namespace cwcsim {
 
-multicore_simulator::multicore_simulator(const cwc::model& m, sim_config cfg)
-    : cfg_(cfg) {
-  model_.tree = &m;
-  util::expects(cfg_.num_trajectories > 0, "need at least one trajectory");
-  util::expects(cfg_.sim_workers > 0, "need at least one simulation engine");
-  util::expects(cfg_.stat_engines > 0, "need at least one statistical engine");
-}
+namespace detail {
 
-multicore_simulator::multicore_simulator(const cwc::reaction_network& n,
-                                         sim_config cfg)
-    : cfg_(cfg) {
-  model_.flat = &n;
-  util::expects(cfg_.num_trajectories > 0, "need at least one trajectory");
-  util::expects(cfg_.sim_workers > 0, "need at least one simulation engine");
-  util::expects(cfg_.stat_engines > 0, "need at least one statistical engine");
-}
-
-simulation_result multicore_simulator::run() {
+simulation_result run_multicore_pipeline(const model_ref& model,
+                                         const sim_config& cfg,
+                                         event_sink* sink) {
   ff::network net;
   simulation_result result;
-  result.sim_workers = cfg_.sim_workers;
-  result.stat_engines = cfg_.stat_engines;
+  result.sim_workers = cfg.sim_workers;
+  result.stat_engines = cfg.stat_engines;
 
   // ---- simulation pipeline -------------------------------------------
   ff::pipeline pipe;
-  pipe.add_stage(std::make_unique<task_generator>(model_, cfg_));
+  pipe.add_stage(std::make_unique<task_generator>(model, cfg, sink));
 
   std::vector<std::unique_ptr<ff::node>> sim_workers;
   std::vector<sim_engine_node*> sim_worker_ptrs;
-  for (unsigned w = 0; w < cfg_.sim_workers; ++w) {
-    auto worker = std::make_unique<sim_engine_node>(cfg_, w);
+  for (unsigned w = 0; w < cfg.sim_workers; ++w) {
+    auto worker = std::make_unique<sim_engine_node>(cfg, w);
     sim_worker_ptrs.push_back(worker.get());
     sim_workers.push_back(std::move(worker));
   }
   auto sim_farm = std::make_unique<ff::farm>(std::move(sim_workers));
-  auto scheduler = std::make_unique<task_scheduler>(cfg_);
+  auto scheduler = std::make_unique<task_scheduler>(cfg, sink);
   task_scheduler* scheduler_ptr = scheduler.get();
   sim_farm->set_emitter(std::move(scheduler))
-      .set_dispatch(cfg_.dispatch)
-      .set_worker_channel_capacity(cfg_.worker_queue)
+      .set_dispatch(cfg.dispatch)
+      .set_worker_channel_capacity(cfg.worker_queue)
       .enable_feedback(ff::feedback_from::workers);
   pipe.add_stage(std::move(sim_farm));
 
   pipe.add_stage(std::make_unique<trajectory_aligner>(
-      cfg_, model_.num_observables()));
+      cfg, model.num_observables(), sink));
 
   // ---- analysis pipeline ----------------------------------------------
-  pipe.add_stage(std::make_unique<window_generator>(cfg_));
+  pipe.add_stage(std::make_unique<window_generator>(cfg));
 
   std::vector<std::unique_ptr<ff::node>> stat_workers;
-  for (unsigned w = 0; w < cfg_.stat_engines; ++w)
-    stat_workers.push_back(std::make_unique<stat_engine_node>(cfg_));
+  for (unsigned w = 0; w < cfg.stat_engines; ++w)
+    stat_workers.push_back(std::make_unique<stat_engine_node>(cfg));
   auto stat_farm = std::make_unique<ff::farm>(std::move(stat_workers));
   stat_farm->set_dispatch(ff::out_policy::on_demand)
-      .set_collector(std::make_unique<reorder_gather>(cfg_.window_slide));
+      .set_collector(std::make_unique<reorder_gather>(cfg.window_slide));
   pipe.add_stage(std::move(stat_farm));
 
-  pipe.add_stage(std::make_unique<result_sink>(&result));
+  // Terminal stage: stream summaries into the session sink, or collect
+  // them for the batch wrapper — no gather-then-copy in either mode.
+  if (sink != nullptr) {
+    pipe.add_stage(std::make_unique<result_sink>(
+        [sink](window_summary&& w) { sink->window(std::move(w)); }));
+  } else {
+    pipe.add_stage(std::make_unique<result_sink>(&result));
+  }
 
   // ---- run --------------------------------------------------------------
   pipe.materialize(net);
@@ -72,13 +67,58 @@ simulation_result multicore_simulator::run() {
 
   // ---- gather instrumentation -------------------------------------------
   result.completions = scheduler_ptr->completions();
-  if (cfg_.capture_trace) {
+  if (cfg.capture_trace) {
     for (const sim_engine_node* w : sim_worker_ptrs) {
       result.trace.insert(result.trace.end(), w->trace().begin(),
                           w->trace().end());
     }
   }
   return result;
+}
+
+namespace {
+
+class multicore_driver final : public backend_driver {
+ public:
+  multicore_driver(const model_ref& model, const sim_config& cfg)
+      : model_(model), cfg_(cfg) {}
+
+  const char* name() const noexcept override { return "multicore"; }
+
+  void run(event_sink& sink, run_report& report) override {
+    report.result = run_multicore_pipeline(model_, cfg_, &sink);
+  }
+
+ private:
+  model_ref model_;
+  sim_config cfg_;
+};
+
+}  // namespace
+
+std::unique_ptr<backend_driver> make_multicore_driver(const model_ref& model,
+                                                      const sim_config& cfg,
+                                                      const multicore&) {
+  return std::make_unique<multicore_driver>(model, cfg);
+}
+
+}  // namespace detail
+
+multicore_simulator::multicore_simulator(const cwc::model& m, sim_config cfg)
+    : cfg_(cfg) {
+  model_.tree = &m;
+  validate(cfg_);
+}
+
+multicore_simulator::multicore_simulator(const cwc::reaction_network& n,
+                                         sim_config cfg)
+    : cfg_(cfg) {
+  model_.flat = &n;
+  validate(cfg_);
+}
+
+simulation_result multicore_simulator::run() {
+  return detail::run_multicore_pipeline(model_, cfg_, nullptr);
 }
 
 }  // namespace cwcsim

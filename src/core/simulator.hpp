@@ -8,11 +8,29 @@
 #pragma once
 
 #include "core/config.hpp"
+#include "core/events.hpp"
 #include "core/nodes.hpp"
 #include "core/result.hpp"
 
 namespace cwcsim {
 
+namespace detail {
+
+/// Build the Fig. 2 network and execute it. With a sink, window summaries
+/// and completion notices are streamed through it as the gather stage
+/// emits them (result.windows stays empty, and the sink's stop flag is
+/// honoured); without one, everything is collected into the result —
+/// exactly the pre-session batch behaviour.
+simulation_result run_multicore_pipeline(const model_ref& model,
+                                         const sim_config& cfg,
+                                         event_sink* sink);
+
+}  // namespace detail
+
+/// The original batch entry point. Prefer cwcsim::run() / run_builder
+/// (core/session.hpp): the session facade adds on-line window subscription,
+/// cooperative cancellation, and backend portability; this class remains as
+/// a thin wrapper over the same pipeline.
 class multicore_simulator {
  public:
   /// Simulate a CWC term model.
@@ -32,7 +50,8 @@ class multicore_simulator {
   sim_config cfg_;
 };
 
-/// Convenience one-shot helper.
+/// Convenience one-shot batch helper (see multicore_simulator's note on the
+/// streaming session API).
 inline simulation_result simulate(const cwc::model& m, const sim_config& cfg) {
   return multicore_simulator(m, cfg).run();
 }

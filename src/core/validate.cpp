@@ -1,0 +1,65 @@
+// Centralized configuration validation — the single source of truth every
+// backend (and run_builder) funnels through, replacing the per-backend
+// ad-hoc checks. Lives in cwcsim_core so the dist/simt runtimes below the
+// session facade can call it too.
+#include "core/backend.hpp"
+
+namespace cwcsim {
+
+void validate(const sim_config& cfg) {
+  if (cfg.num_trajectories == 0)
+    throw config_error("num_trajectories", "need at least one trajectory");
+  if (cfg.sim_workers == 0)
+    throw config_error("sim_workers", "need at least one simulation engine");
+  if (cfg.stat_engines == 0)
+    throw config_error("stat_engines", "need at least one statistical engine");
+  if (!(cfg.sample_period > 0.0))
+    throw config_error("sample_period", "sample period must be positive");
+  if (!(cfg.quantum > 0.0))
+    throw config_error("quantum", "quantum must be positive");
+  if (cfg.t_end < 0.0)
+    throw config_error("t_end", "simulation horizon must be non-negative");
+  if (cfg.window_size == 0)
+    throw config_error("window_size", "windows must hold at least one cut");
+  if (cfg.window_slide == 0)
+    throw config_error("window_slide", "window slide must be positive");
+  if (cfg.window_slide > cfg.window_size)
+    throw config_error("window_slide",
+                       "slide larger than the window size would skip cuts");
+}
+
+void validate(const sim_config& cfg, const backend& b) {
+  validate(cfg);
+  struct checker {
+    const sim_config& cfg;
+    void operator()(const multicore&) const {}
+    void operator()(const distributed& d) const {
+      if (d.num_hosts == 0)
+        throw config_error("distributed.num_hosts", "need at least one host");
+      if (d.workers_per_host == 0)
+        throw config_error("distributed.workers_per_host",
+                           "need at least one engine per host");
+      if (d.num_hosts > cfg.num_trajectories)
+        throw config_error("distributed.num_hosts",
+                           "more hosts than trajectories");
+      if (d.network.latency_s < 0.0)
+        throw config_error("distributed.network.latency_s",
+                           "negative network latency");
+      if (d.network.bytes_per_s < 0.0)
+        throw config_error("distributed.network.bytes_per_s",
+                           "negative network bandwidth");
+    }
+    void operator()(const gpu& g) const {
+      if (g.device.warp_size == 0)
+        throw config_error("gpu.device.warp_size", "warps need lanes");
+      if (g.device.smx == 0 || g.device.cores_per_smx == 0)
+        throw config_error("gpu.device", "device has no cores");
+      if (g.coherence_time < 0.0)
+        throw config_error("gpu.coherence_time",
+                           "coherence time must be non-negative");
+    }
+  };
+  std::visit(checker{cfg}, b);
+}
+
+}  // namespace cwcsim

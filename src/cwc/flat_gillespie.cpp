@@ -59,9 +59,9 @@ bool flat_engine::step() {
   return true;
 }
 
-void flat_engine::record_sample(std::vector<trajectory_sample>& out) {
+void flat_engine::record_sample(double at, std::vector<trajectory_sample>& out) {
   trajectory_sample s;
-  s.time = next_sample_;
+  s.time = at;
   s.values.reserve(net_->num_species());
   for (species_id sp = 0; sp < net_->num_species(); ++sp)
     s.values.push_back(static_cast<double>(state_.count(sp)));
@@ -72,6 +72,9 @@ void flat_engine::run_to(double t_end, double sample_period,
                          std::vector<trajectory_sample>& out) {
   util::expects(sample_period > 0.0, "sample period must be positive");
   util::expects(t_end >= time_, "run_to target precedes current time");
+
+  // Indexed sampling grid with horizon tolerance (see sampling.hpp).
+  const double horizon = t_end + sample_tolerance(t_end, sample_period);
 
   while (!stalled_) {
     const double total = total_propensity();
@@ -84,9 +87,10 @@ void flat_engine::run_to(double t_end, double sample_period,
     const double t_next = pending_t_next_.has_value()
                               ? *pending_t_next_
                               : time_ + rng_.next_exponential(total);
-    while (next_sample_ <= t_end && next_sample_ <= t_next) {
-      record_sample(out);
-      next_sample_ += sample_period;
+    while (sample_time(next_sample_k_, sample_period) <= horizon &&
+           sample_time(next_sample_k_, sample_period) <= t_next) {
+      record_sample(sample_time(next_sample_k_, sample_period), out);
+      ++next_sample_k_;
     }
     if (t_next > t_end) {
       pending_t_next_ = t_next;
@@ -98,9 +102,9 @@ void flat_engine::run_to(double t_end, double sample_period,
     time_ = t_next;
   }
 
-  while (next_sample_ <= t_end) {
-    record_sample(out);
-    next_sample_ += sample_period;
+  while (sample_time(next_sample_k_, sample_period) <= horizon) {
+    record_sample(sample_time(next_sample_k_, sample_period), out);
+    ++next_sample_k_;
   }
   time_ = t_end;
 }

@@ -9,6 +9,7 @@
 
 #include "cwc/gillespie.hpp"  // trajectory_sample
 #include "cwc/reaction_network.hpp"
+#include "cwc/sampling.hpp"
 #include "util/rng.hpp"
 
 namespace cwc {
@@ -32,7 +33,7 @@ class flat_engine {
               std::vector<trajectory_sample>& out);
 
  private:
-  void record_sample(std::vector<trajectory_sample>& out);
+  void record_sample(double at, std::vector<trajectory_sample>& out);
   double total_propensity();
   void fire(double target);
 
@@ -40,7 +41,7 @@ class flat_engine {
   multiset state_;
   std::vector<double> props_;  // per-reaction propensity scratch
   double time_ = 0.0;
-  double next_sample_ = 0.0;
+  std::uint64_t next_sample_k_ = 0;  ///< next sampling-grid index (see sampling.hpp)
   std::uint64_t steps_ = 0;
   bool stalled_ = false;
   util::rng_stream rng_;

@@ -63,9 +63,9 @@ bool engine::step() {
   return true;
 }
 
-void engine::record_sample(std::vector<trajectory_sample>& out) {
+void engine::record_sample(double at, std::vector<trajectory_sample>& out) {
   trajectory_sample s;
-  s.time = next_sample_;
+  s.time = at;
   s.values = model_->observe_all(*state_);
   out.push_back(std::move(s));
 }
@@ -74,6 +74,11 @@ void engine::run_to(double t_end, double sample_period,
                     std::vector<trajectory_sample>& out) {
   util::expects(sample_period > 0.0, "sample period must be positive");
   util::expects(t_end >= time_, "run_to target precedes current time");
+
+  // Sample times come from the indexed grid (k * sample_period), compared
+  // against the horizon with a tolerance, so no sample point is ever lost
+  // to floating-point truncation (30 / 0.1 landing at 299.999…).
+  const double horizon = t_end + sample_tolerance(t_end, sample_period);
 
   while (true) {
     if (stalled_) break;
@@ -92,9 +97,10 @@ void engine::run_to(double t_end, double sample_period,
 
     // Emit samples for every sample point the jump crosses (the SSA state
     // is right-continuous piecewise constant).
-    while (next_sample_ <= t_end && next_sample_ <= t_next) {
-      record_sample(out);
-      next_sample_ += sample_period;
+    while (sample_time(next_sample_k_, sample_period) <= horizon &&
+           sample_time(next_sample_k_, sample_period) <= t_next) {
+      record_sample(sample_time(next_sample_k_, sample_period), out);
+      ++next_sample_k_;
     }
     if (t_next > t_end) {
       pending_t_next_ = t_next;
@@ -108,9 +114,9 @@ void engine::run_to(double t_end, double sample_period,
   }
 
   // Stalled: the state is frozen; emit the remaining samples up to t_end.
-  while (next_sample_ <= t_end) {
-    record_sample(out);
-    next_sample_ += sample_period;
+  while (sample_time(next_sample_k_, sample_period) <= horizon) {
+    record_sample(sample_time(next_sample_k_, sample_period), out);
+    ++next_sample_k_;
   }
   time_ = t_end;
 }

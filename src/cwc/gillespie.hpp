@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cwc/model.hpp"
+#include "cwc/sampling.hpp"
 #include "util/rng.hpp"
 
 namespace cwc {
@@ -65,12 +66,12 @@ class engine {
   /// Apply the match selected by `target` in (0, total].
   void fire(double target);
 
-  void record_sample(std::vector<trajectory_sample>& out);
+  void record_sample(double at, std::vector<trajectory_sample>& out);
 
   const model* model_;
   std::unique_ptr<term> state_;
   double time_ = 0.0;
-  double next_sample_ = 0.0;
+  std::uint64_t next_sample_k_ = 0;  ///< next sampling-grid index (see sampling.hpp)
   std::uint64_t steps_ = 0;
   std::uint64_t trajectory_id_;
   bool stalled_ = false;

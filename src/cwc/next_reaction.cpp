@@ -154,9 +154,11 @@ void next_reaction_engine::run_to(double t_end, double sample_period,
   util::expects(sample_period > 0.0, "sample period must be positive");
   util::expects(t_end >= time_, "run_to target precedes current time");
 
+  // Indexed sampling grid with horizon tolerance (see sampling.hpp).
+  const double horizon = t_end + sample_tolerance(t_end, sample_period);
   auto sample_now = [&] {
     trajectory_sample s;
-    s.time = next_sample_;
+    s.time = sample_time(next_sample_k_, sample_period);
     s.values.reserve(net_->num_species());
     for (species_id sp = 0; sp < net_->num_species(); ++sp)
       s.values.push_back(static_cast<double>(state_.count(sp)));
@@ -165,9 +167,10 @@ void next_reaction_engine::run_to(double t_end, double sample_period,
 
   while (!stalled()) {
     const double t_next = fire_at_[heap_[0]];
-    while (next_sample_ <= t_end && next_sample_ <= t_next) {
+    while (sample_time(next_sample_k_, sample_period) <= horizon &&
+           sample_time(next_sample_k_, sample_period) <= t_next) {
       sample_now();
-      next_sample_ += sample_period;
+      ++next_sample_k_;
     }
     if (t_next > t_end) {
       // The pending clock persists in the heap — quantum-composable by
@@ -180,9 +183,9 @@ void next_reaction_engine::run_to(double t_end, double sample_period,
     update_after_fire(j);
   }
 
-  while (next_sample_ <= t_end) {
+  while (sample_time(next_sample_k_, sample_period) <= horizon) {
     sample_now();
-    next_sample_ += sample_period;
+    ++next_sample_k_;
   }
   time_ = t_end;
 }

@@ -12,6 +12,7 @@
 
 #include "cwc/gillespie.hpp"  // trajectory_sample
 #include "cwc/reaction_network.hpp"
+#include "cwc/sampling.hpp"
 #include "util/rng.hpp"
 
 namespace cwc {
@@ -50,7 +51,7 @@ class next_reaction_engine {
   const reaction_network* net_;
   multiset state_;
   double time_ = 0.0;
-  double next_sample_ = 0.0;
+  std::uint64_t next_sample_k_ = 0;  ///< next sampling-grid index (see sampling.hpp)
   std::uint64_t steps_ = 0;
   util::rng_stream rng_;
 

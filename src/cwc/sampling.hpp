@@ -1,0 +1,36 @@
+// The sampling grid shared by every engine and by the pipeline
+// configuration: sample point k lives at time k * sample_period.
+//
+// All comparisons against the grid carry a small relative tolerance so that
+// a horizon whose time is not exactly representable (t_end / sample_period
+// landing just below an integer, e.g. 30 / 0.1 = 299.999…) does not drop
+// the final sample. The tolerance is ~1e-9 relative — many orders of
+// magnitude above accumulated rounding error and many below the sample
+// spacing — so it can neither lose nor invent a sample point.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace cwc {
+
+/// Absolute slack used when comparing grid times against a horizon.
+inline double sample_tolerance(double t_end, double sample_period) noexcept {
+  return (std::abs(t_end) + sample_period) * 1e-9;
+}
+
+/// Time of sample point `k` (exact multiplication, no accumulated drift).
+inline double sample_time(std::uint64_t k, double sample_period) noexcept {
+  return static_cast<double>(k) * sample_period;
+}
+
+/// Number of sample points in [0, t_end]: k = 0 .. num_sample_points-1.
+inline std::uint64_t num_sample_points(double t_end,
+                                       double sample_period) noexcept {
+  return static_cast<std::uint64_t>(
+             (t_end + sample_tolerance(t_end, sample_period)) /
+             sample_period) +
+         1;
+}
+
+}  // namespace cwc

@@ -5,6 +5,8 @@
 #pragma once
 
 #include "dist/archive.hpp"
+#include "dist/dist_backend.hpp"
 #include "dist/distributed_simulator.hpp"
 #include "dist/net_channel.hpp"
+#include "dist/net_params.hpp"
 #include "dist/wire.hpp"

@@ -1,0 +1,16 @@
+#include "dist/dist_backend.hpp"
+
+namespace cwcsim::detail {
+
+std::unique_ptr<backend_driver> make_distributed_driver(const model_ref& model,
+                                                        const sim_config& cfg,
+                                                        const distributed& b) {
+  dist::dist_config dc;
+  dc.base = cfg;
+  dc.num_hosts = b.num_hosts;
+  dc.workers_per_host = b.workers_per_host;
+  dc.network = b.network;
+  return std::make_unique<dist::cluster_driver>(model, std::move(dc));
+}
+
+}  // namespace cwcsim::detail

@@ -1,0 +1,27 @@
+// The cwcsim::distributed backend driver: adapts the virtual-cluster
+// runtime to the session facade's backend_driver contract. Constructed via
+// cwcsim::run_builder(...).backend(cwcsim::distributed{...}); exposed here
+// for direct use and for tests.
+#pragma once
+
+#include "core/backend.hpp"
+#include "dist/distributed_simulator.hpp"
+
+namespace dist {
+
+class cluster_driver final : public cwcsim::backend_driver {
+ public:
+  cluster_driver(const cwcsim::model_ref& model, dist_config cfg)
+      : sim_(model, std::move(cfg)) {}
+
+  const char* name() const noexcept override { return "distributed"; }
+
+  void run(cwcsim::event_sink& sink, cwcsim::run_report& report) override {
+    sim_.run(sink, report);
+  }
+
+ private:
+  distributed_simulator sim_;
+};
+
+}  // namespace dist

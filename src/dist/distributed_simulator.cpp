@@ -4,7 +4,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/alignment.hpp"
+#include "core/online_analysis.hpp"
 #include "core/quantum.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
@@ -17,21 +17,23 @@ namespace {
 /// host's partition of trajectories quantum by quantum — the same
 /// advance_one_quantum contract as cwcsim::sim_engine_node — and streaming
 /// the serialized results to the master over `out`. Messages are framed as
-/// a wire_tag byte followed by the payload, written in one pass.
+/// a wire_tag byte followed by the payload, written in one pass. The
+/// sink's stop flag is honoured at quantum boundaries (cooperative
+/// cancellation of the whole cluster).
 void run_host(const cwcsim::model_ref& model, const cwcsim::sim_config& cfg,
               const std::vector<std::uint64_t>& ids, unsigned workers,
-              net_channel& out) {
+              const cwcsim::event_sink& sink, net_channel& out) {
   std::atomic<std::size_t> next{0};
   std::vector<std::thread> engines;
   engines.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
     engines.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < ids.size();
-           i = next.fetch_add(1)) {
+      for (std::size_t i = next.fetch_add(1);
+           i < ids.size() && !sink.stop_requested(); i = next.fetch_add(1)) {
         const std::uint64_t id = ids[i];
         auto engine = model.make_engine(cfg.seed, id);
         std::uint64_t quantum_index = 0;
-        while (true) {
+        while (!sink.stop_requested()) {
           auto q = cwcsim::advance_one_quantum(engine, cfg, id, quantum_index);
           if (cfg.capture_trace) {
             archive_writer w;
@@ -65,34 +67,37 @@ void run_host(const cwcsim::model_ref& model, const cwcsim::sim_config& cfg,
 
 distributed_simulator::distributed_simulator(const cwc::model& m,
                                              dist_config cfg)
-    : cfg_(std::move(cfg)) {
-  model_.tree = &m;
-  validate();
-}
+    : distributed_simulator(cwcsim::model_ref{&m, nullptr}, std::move(cfg)) {}
 
 distributed_simulator::distributed_simulator(const cwc::reaction_network& n,
                                              dist_config cfg)
-    : cfg_(std::move(cfg)) {
-  model_.flat = &n;
-  validate();
-}
+    : distributed_simulator(cwcsim::model_ref{nullptr, &n}, std::move(cfg)) {}
 
-void distributed_simulator::validate() const {
-  util::expects(cfg_.base.num_trajectories > 0,
-                "need at least one trajectory");
-  util::expects(cfg_.base.quantum > 0.0, "quantum must be positive");
-  util::expects(cfg_.base.sample_period > 0.0,
-                "sample period must be positive");
-  util::expects(cfg_.num_hosts > 0, "need at least one host");
-  util::expects(cfg_.workers_per_host > 0,
-                "need at least one engine per host");
-  util::expects(cfg_.num_hosts <= cfg_.base.num_trajectories,
-                "more hosts than trajectories");
-  util::expects(cfg_.network.latency_s >= 0.0, "negative network latency");
-  util::expects(cfg_.network.bytes_per_s >= 0.0, "negative network bandwidth");
+distributed_simulator::distributed_simulator(cwcsim::model_ref model,
+                                             dist_config cfg)
+    : model_(model), cfg_(std::move(cfg)) {
+  util::expects(model_.tree != nullptr || model_.flat != nullptr,
+                "distributed_simulator requires a model");
+  cwcsim::validate(cfg_.base, cwcsim::distributed{cfg_.num_hosts,
+                                                  cfg_.workers_per_host,
+                                                  cfg_.network});
 }
 
 dist_result distributed_simulator::run() {
+  cwcsim::collecting_sink sink;
+  cwcsim::run_report report;
+  run(sink, report);
+
+  dist_result out;
+  out.result = std::move(report.result);
+  out.result.windows = sink.take_windows();
+  out.messages = report.network->messages;
+  out.bytes = report.network->bytes;
+  return out;
+}
+
+void distributed_simulator::run(cwcsim::event_sink& sink,
+                                cwcsim::run_report& report) {
   const cwcsim::sim_config& base = cfg_.base;
   util::stopwatch sw;
 
@@ -121,8 +126,9 @@ dist_result distributed_simulator::run() {
   std::vector<std::thread> hosts;
   hosts.reserve(cfg_.num_hosts);
   for (unsigned h = 0; h < cfg_.num_hosts; ++h) {
-    hosts.emplace_back([this, &base, &partition, &ingress, h] {
-      run_host(model_, base, partition[h], cfg_.workers_per_host, ingress);
+    hosts.emplace_back([this, &base, &partition, &sink, &ingress, h] {
+      run_host(model_, base, partition[h], cfg_.workers_per_host, sink,
+               ingress);
     });
   }
   // net_channel::send never blocks, so the hosts always run to completion
@@ -132,26 +138,12 @@ dist_result distributed_simulator::run() {
   };
 
   // ---- master: align -> window -> statistics, on-line -------------------
-  dist_result out;
-  out.result.sim_workers = cfg_.num_hosts * cfg_.workers_per_host;
+  report.result.sim_workers = cfg_.num_hosts * cfg_.workers_per_host;
   // The master runs the analysis stages inline on one thread; report what
   // actually executed, not the base config's farm width.
-  out.result.stat_engines = 1;
+  report.result.stat_engines = 1;
 
-  cwcsim::cut_assembler assembler(base, model_.num_observables());
-  stats::sliding_window_builder builder(base.window_size, base.window_slide);
-
-  auto summarize = [&](stats::trajectory_window&& w) {
-    cwcsim::window_summary s;
-    s.first_sample = w.first_sample;
-    s.cuts.reserve(w.cuts.size());
-    for (const auto& cut : w.cuts)
-      s.cuts.push_back(stats::summarize_cut(cut, base.kmeans_k, base.seed));
-    out.result.windows.push_back(std::move(s));
-  };
-  auto on_cut = [&](stats::trajectory_cut&& cut) {
-    for (auto& w : builder.push(std::move(cut))) summarize(std::move(w));
-  };
+  cwcsim::online_analysis analysis(base, model_.num_observables(), sink);
 
   try {
     while (auto msg = ingress.recv()) {
@@ -160,14 +152,17 @@ dist_result distributed_simulator::run() {
         case wire_tag::sample_batch: {
           const auto batch = read_sample_batch(r);
           for (const auto& s : batch.samples)
-            assembler.ingest(batch.trajectory_id, s, on_cut);
+            analysis.ingest(batch.trajectory_id, s);
           break;
         }
-        case wire_tag::task_done:
-          out.result.completions.push_back(read_task_done(r));
+        case wire_tag::task_done: {
+          const auto done = read_task_done(r);
+          report.result.completions.push_back(done);
+          sink.trajectory_done(done);
           break;
+        }
         case wire_tag::quantum_trace:
-          out.result.trace.push_back(read_quantum_record(r));
+          report.result.trace.push_back(read_quantum_record(r));
           break;
         default:
           util::ensures(false, "unknown wire tag");
@@ -181,15 +176,16 @@ dist_result distributed_simulator::run() {
   }
   join_hosts();
 
-  for (auto& w : builder.flush()) summarize(std::move(w));
-  util::ensures(assembler.drained(), "alignment buffer not drained at EOS");
-  util::ensures(out.result.completions.size() == base.num_trajectories,
-                "lost trajectory completions");
+  analysis.finish();
+  if (!sink.stop_requested()) {
+    util::ensures(report.result.completions.size() == base.num_trajectories,
+                  "lost trajectory completions");
+  }
 
-  out.messages = static_cast<std::size_t>(ingress.messages_sent());
-  out.bytes = static_cast<double>(ingress.bytes_sent());
-  out.result.wall_seconds = sw.elapsed_s();
-  return out;
+  report.network.emplace();
+  report.network->messages = static_cast<std::size_t>(ingress.messages_sent());
+  report.network->bytes = static_cast<double>(ingress.bytes_sent());
+  report.result.wall_seconds = sw.elapsed_s();
 }
 
 }  // namespace dist

@@ -40,15 +40,22 @@ class distributed_simulator {
  public:
   distributed_simulator(const cwc::model& m, dist_config cfg);
   distributed_simulator(const cwc::reaction_network& n, dist_config cfg);
+  distributed_simulator(cwcsim::model_ref model, dist_config cfg);
 
   const dist_config& config() const noexcept { return cfg_; }
 
-  /// Execute the virtual cluster and gather the master's results.
+  /// Execute the virtual cluster and gather the master's results (batch
+  /// wrapper over the streaming form below).
   dist_result run();
 
- private:
-  void validate() const;
+  /// Streaming form (the cwcsim::distributed backend driver): the master
+  /// pushes each window summary and completion notice through `sink` as
+  /// the on-line analysis emits it, honours sink.stop_requested() at
+  /// quantum boundaries on every host, and fills `report` (result.windows
+  /// excepted — the sink's owner collects the stream).
+  void run(cwcsim::event_sink& sink, cwcsim::run_report& report);
 
+ private:
   cwcsim::model_ref model_;
   dist_config cfg_;
 };

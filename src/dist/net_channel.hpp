@@ -19,15 +19,9 @@
 #include <optional>
 
 #include "dist/archive.hpp"
+#include "dist/net_params.hpp"
 
 namespace dist {
-
-/// Link performance parameters (paper §IV-B: "the performance of the
-/// network" is a first-class knob of the distributed runtime).
-struct net_params {
-  double latency_s = 0.0;     ///< one-way propagation delay
-  double bytes_per_s = 0.0;   ///< link bandwidth; 0 disables throttling
-};
 
 class net_channel {
  public:

@@ -1,0 +1,14 @@
+// Link performance parameters (paper §IV-B: "the performance of the
+// network" is a first-class knob of the distributed runtime). Split from
+// net_channel.hpp so backend descriptors can carry them without pulling in
+// the channel machinery.
+#pragma once
+
+namespace dist {
+
+struct net_params {
+  double latency_s = 0.0;    ///< one-way propagation delay
+  double bytes_per_s = 0.0;  ///< link bandwidth; 0 disables throttling
+};
+
+}  // namespace dist

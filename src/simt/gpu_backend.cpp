@@ -1,0 +1,12 @@
+#include "simt/gpu_backend.hpp"
+
+namespace cwcsim::detail {
+
+std::unique_ptr<backend_driver> make_gpu_driver(const model_ref& model,
+                                                const sim_config& cfg,
+                                                const gpu& b) {
+  return std::make_unique<simt::gpu_driver>(model, cfg, b.device,
+                                            b.coherence_time);
+}
+
+}  // namespace cwcsim::detail

@@ -1,0 +1,30 @@
+// The cwcsim::gpu backend driver: adapts the SIMT lockstep-kernel runtime
+// to the session facade's backend_driver contract. Constructed via
+// cwcsim::run_builder(...).backend(cwcsim::gpu{device, coherence}); exposed
+// here for direct use and for tests.
+#pragma once
+
+#include "core/backend.hpp"
+#include "simt/gpu_simulator.hpp"
+
+namespace simt {
+
+class gpu_driver final : public cwcsim::backend_driver {
+ public:
+  gpu_driver(const cwcsim::model_ref& model, const cwcsim::sim_config& cfg,
+             device_spec dev, double coherence_time)
+      : sim_(model, cfg, std::move(dev)) {
+    sim_.set_coherence_time(coherence_time);
+  }
+
+  const char* name() const noexcept override { return "gpu"; }
+
+  void run(cwcsim::event_sink& sink, cwcsim::run_report& report) override {
+    sim_.run(sink, report);
+  }
+
+ private:
+  gpu_simulator sim_;
+};
+
+}  // namespace simt

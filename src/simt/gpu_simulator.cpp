@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/online_analysis.hpp"
 #include "des/trace.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
@@ -10,29 +11,50 @@ namespace simt {
 
 gpu_simulator::gpu_simulator(const cwc::model& m, cwcsim::sim_config cfg,
                              device_spec dev)
-    : cfg_(cfg), dev_(std::move(dev)) {
-  model_.tree = &m;
-  const des::calibration cal = des::calibrate(model_, cfg_);
-  ns_per_step_ = cal.sim_ns_per_step;
-}
+    : gpu_simulator(cwcsim::model_ref{&m, nullptr}, cfg, std::move(dev)) {}
 
 gpu_simulator::gpu_simulator(const cwc::reaction_network& n,
                              cwcsim::sim_config cfg, device_spec dev)
-    : cfg_(cfg), dev_(std::move(dev)) {
-  model_.flat = &n;
+    : gpu_simulator(cwcsim::model_ref{nullptr, &n}, cfg, std::move(dev)) {}
+
+gpu_simulator::gpu_simulator(cwcsim::model_ref model, cwcsim::sim_config cfg,
+                             device_spec dev)
+    : model_(model), cfg_(cfg), dev_(std::move(dev)) {
+  util::expects(model_.tree != nullptr || model_.flat != nullptr,
+                "gpu_simulator requires a model");
+  cwcsim::validate(cfg_);
   const des::calibration cal = des::calibrate(model_, cfg_);
   ns_per_step_ = cal.sim_ns_per_step;
 }
 
 gpu_run_result gpu_simulator::run() {
-  util::stopwatch wall;
+  cwcsim::collecting_sink sink;
+  cwcsim::run_report report;
+  run(sink, report);
+
   gpu_run_result out;
+  out.result = std::move(report.result);
+  out.result.windows = sink.take_windows();
+  out.device_seconds = report.device->device_seconds;
+  out.divergence_factor = report.device->divergence_factor;
+  out.kernels = report.device->kernels;
+  return out;
+}
+
+void gpu_simulator::run(cwcsim::event_sink& sink, cwcsim::run_report& report) {
+  util::stopwatch wall;
+  report.device.emplace();
+  cwcsim::run_report::device_stats& dev_stats = *report.device;
 
   struct lane {
+    std::uint64_t id = 0;
     cwcsim::any_engine engine;
     std::vector<cwc::trajectory_sample> samples;  // batch of current kernel
     std::uint64_t steps_before = 0;
     std::uint64_t prev_steps = 0;  // warp re-packing predictor
+
+    lane(std::uint64_t id_, cwcsim::any_engine e)
+        : id(id_), engine(std::move(e)) {}
   };
 
   // "Unified memory": engines live in host memory and are handed to the
@@ -40,23 +62,20 @@ gpu_run_result gpu_simulator::run() {
   std::vector<lane> lanes;
   lanes.reserve(cfg_.num_trajectories);
   for (std::uint64_t i = 0; i < cfg_.num_trajectories; ++i)
-    lanes.push_back(lane{model_.make_engine(cfg_.seed, i), {}, 0});
+    lanes.emplace_back(i, model_.make_engine(cfg_.seed, i));
 
-  // Collected cuts, built kernel by kernel.
-  std::vector<stats::trajectory_cut> cuts(cfg_.num_samples());
-  for (std::uint64_t k = 0; k < cuts.size(); ++k) {
-    cuts[k].sample_index = k;
-    cuts[k].time = static_cast<double>(k) * cfg_.sample_period;
-    cuts[k].values.assign(cfg_.num_trajectories,
-                          std::vector<double>(model_.num_observables(), 0.0));
-  }
+  // On-line analysis between kernels: completed cuts stream out of the
+  // assembler into sliding windows while later kernels still execute —
+  // the same align -> window -> summarize path as the other backends, so
+  // the windowed statistics are bit-exact across deployments.
+  cwcsim::online_analysis analysis(cfg_, model_.num_observables(), sink);
 
   double total_lane_s = 0.0;
   double total_warp_s = 0.0;
 
   std::vector<lane*> live;
   for (auto& l : lanes) live.push_back(&l);
-  while (!live.empty()) {
+  while (!live.empty() && !sink.stop_requested()) {
     // Stream-level load re-balancing (paper §V-C): re-pack the surviving
     // instances into warps sorted by predicted cost (last quantum's steps)
     // so lanes with similar progress rates share a warp.
@@ -86,53 +105,39 @@ gpu_run_result gpu_simulator::run() {
 
     double bytes = 0.0;
     for (lane* l : live) {
-      const auto id = static_cast<std::uint64_t>(l - lanes.data());
       for (const auto& s : l->samples) {
-        const auto k =
-            static_cast<std::uint64_t>(s.time / cfg_.sample_period + 0.5);
-        cuts.at(k).values.at(id) = s.values;
+        analysis.ingest(l->id, s);
         bytes += static_cast<double>(s.values.size()) * 8.0 + 16.0;
       }
     }
     const double mem_s =
         dev_.unified_mem_bytes_s > 0 ? bytes / dev_.unified_mem_bytes_s : 0.0;
-    out.device_seconds += ks.device_seconds + mem_s;
+    dev_stats.device_seconds += ks.device_seconds + mem_s;
     total_lane_s += ks.busy_lane_seconds;
     total_warp_s += ks.busy_warp_seconds;
-    ++out.kernels;
+    ++dev_stats.kernels;
 
     // Retire finished instances; survivors are re-packed into fresh warps
     // (the stream-level re-balancing the paper credits for GPU viability).
-    std::erase_if(live, [&](lane* l) { return l->engine.time() >= cfg_.t_end; });
+    std::erase_if(live, [&](lane* l) {
+      if (l->engine.time() < cfg_.t_end) return false;
+      cwcsim::task_done d;
+      d.trajectory_id = l->id;
+      d.quanta = dev_stats.kernels;
+      d.steps = l->engine.steps();
+      report.result.completions.push_back(d);
+      sink.trajectory_done(d);
+      return true;
+    });
   }
 
-  // Host-side analysis pipeline on the collected cuts (sequential here; the
-  // timing side lives in simulate_gpu()).
-  stats::sliding_window_builder builder(cfg_.window_size, cfg_.window_slide);
-  auto summarize = [&](stats::trajectory_window&& w) {
-    cwcsim::window_summary ws;
-    ws.first_sample = w.first_sample;
-    for (const auto& cut : w.cuts)
-      ws.cuts.push_back(stats::summarize_cut(cut, cfg_.kmeans_k, cfg_.seed));
-    out.result.windows.push_back(std::move(ws));
-  };
-  for (auto& cut : cuts)
-    for (auto& w : builder.push(std::move(cut))) summarize(std::move(w));
-  for (auto& w : builder.flush()) summarize(std::move(w));
+  analysis.finish();
 
-  for (std::uint64_t i = 0; i < cfg_.num_trajectories; ++i) {
-    cwcsim::task_done d;
-    d.trajectory_id = i;
-    d.quanta = out.kernels;
-    d.steps = lanes[i].engine.steps();
-    out.result.completions.push_back(d);
-  }
-  out.result.sim_workers = 0;
-  out.result.stat_engines = 1;
-  out.result.wall_seconds = wall.elapsed_s();
-  out.divergence_factor =
+  report.result.sim_workers = 0;
+  report.result.stat_engines = 1;
+  report.result.wall_seconds = wall.elapsed_s();
+  dev_stats.divergence_factor =
       total_lane_s > 0.0 ? total_warp_s * dev_.warp_size / total_lane_s : 1.0;
-  return out;
 }
 
 }  // namespace simt

@@ -24,13 +24,24 @@ class gpu_simulator {
   gpu_simulator(const cwc::model& m, cwcsim::sim_config cfg, device_spec dev);
   gpu_simulator(const cwc::reaction_network& n, cwcsim::sim_config cfg,
                 device_spec dev);
+  gpu_simulator(cwcsim::model_ref model, cwcsim::sim_config cfg,
+                device_spec dev);
 
   /// Path-decoherence time for the divergence model (see simt::gpu_params).
   void set_coherence_time(double t) noexcept { coherence_time_ = t; }
 
   /// Execute the whole campaign as a sequence of lockstep kernels and run
-  /// the standard analysis pipeline on the collected cuts.
+  /// the standard analysis pipeline on the cuts (batch wrapper over the
+  /// streaming form below).
   gpu_run_result run();
+
+  /// Streaming form (the cwcsim::gpu backend driver): cuts are assembled
+  /// between kernels and each completed window summary / retired
+  /// trajectory flows through `sink` while later kernels still execute;
+  /// sink.stop_requested() is honoured at kernel boundaries. Fills
+  /// `report` (result.windows excepted — the sink's owner collects the
+  /// stream).
+  void run(cwcsim::event_sink& sink, cwcsim::run_report& report);
 
  private:
   cwcsim::model_ref model_;

@@ -3,5 +3,6 @@
 
 #include "simt/device.hpp"
 #include "simt/executor.hpp"
+#include "simt/gpu_backend.hpp"
 #include "simt/gpu_model.hpp"
 #include "simt/gpu_simulator.hpp"

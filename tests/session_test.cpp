@@ -1,0 +1,310 @@
+// Tests for the unified streaming run API (core/session.hpp): one
+// run_builder program swapping backends, on-line window subscription
+// bit-exact with the batch results, ordered delivery, cooperative
+// cancellation, centralized validation, and the sampling-grid hardening.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/cwcsim.hpp"
+#include "dist/dist.hpp"
+#include "models/models.hpp"
+#include "simt/simt.hpp"
+
+namespace {
+
+cwcsim::sim_config small_config() {
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = 12;
+  cfg.t_end = 12.0;
+  cfg.sample_period = 0.5;
+  cfg.quantum = 3.0;
+  cfg.sim_workers = 2;
+  cfg.stat_engines = 2;
+  cfg.window_size = 5;
+  cfg.window_slide = 5;
+  cfg.kmeans_k = 2;
+  cfg.seed = 4321;
+  return cfg;
+}
+
+void expect_windows_bitexact(const std::vector<cwcsim::window_summary>& a,
+                             const std::vector<cwcsim::window_summary>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].first_sample, b[i].first_sample) << "window " << i;
+    ASSERT_EQ(a[i].cuts.size(), b[i].cuts.size()) << "window " << i;
+    for (std::size_t c = 0; c < a[i].cuts.size(); ++c) {
+      const auto& x = a[i].cuts[c];
+      const auto& y = b[i].cuts[c];
+      ASSERT_EQ(x.sample_index, y.sample_index);
+      ASSERT_DOUBLE_EQ(x.time, y.time);
+      ASSERT_EQ(x.moments.size(), y.moments.size());
+      for (std::size_t d = 0; d < x.moments.size(); ++d) {
+        ASSERT_DOUBLE_EQ(x.moments[d].mean(), y.moments[d].mean())
+            << "window " << i << " cut " << c << " dim " << d;
+        ASSERT_DOUBLE_EQ(x.moments[d].variance(), y.moments[d].variance());
+      }
+      ASSERT_EQ(x.medians, y.medians);
+    }
+  }
+}
+
+// The acceptance criterion of the redesign: a single run_builder program
+// executes the same model on all three backends by swapping only the
+// backend argument, receives windows through on_window before wait()
+// returns, and the stream is bit-exact with the batch cwcsim::simulate().
+TEST(Session, OneProgramThreeBackendsBitExactStreams) {
+  const auto m = models::make_neurospora_cwc({});
+  const auto cfg = small_config();
+  const auto batch = cwcsim::simulate(m, cfg);
+  ASSERT_FALSE(batch.windows.empty());
+
+  auto run_on = [&](cwcsim::backend b) {
+    std::vector<cwcsim::window_summary> streamed;
+    std::atomic<bool> wait_returned{false};
+    auto s = cwcsim::run_builder()
+                 .model(m)
+                 .config(cfg)
+                 .backend(std::move(b))
+                 .open();
+    s.on_window([&](const cwcsim::window_summary& w) {
+      EXPECT_FALSE(wait_returned.load());
+      streamed.push_back(w);
+    });
+    auto report = s.wait();
+    wait_returned.store(true);
+    // The collected report stream and the subscriber stream are the same.
+    expect_windows_bitexact(streamed, report.result.windows);
+    return report;
+  };
+
+  const auto mc = run_on(cwcsim::multicore{});
+  const auto dc = run_on(cwcsim::distributed{3, 2});
+  const auto gc = run_on(cwcsim::gpu{simt::devices::tesla_k40()});
+
+  expect_windows_bitexact(mc.result.windows, batch.windows);
+  expect_windows_bitexact(dc.result.windows, batch.windows);
+  expect_windows_bitexact(gc.result.windows, batch.windows);
+
+  EXPECT_EQ(mc.backend, "multicore");
+  EXPECT_EQ(dc.backend, "distributed");
+  EXPECT_EQ(gc.backend, "gpu");
+  EXPECT_FALSE(mc.stopped);
+
+  // Structured per-backend extras.
+  EXPECT_FALSE(mc.network.has_value());
+  EXPECT_FALSE(mc.device.has_value());
+  ASSERT_TRUE(dc.network.has_value());
+  EXPECT_GT(dc.network->messages, 0u);
+  EXPECT_GT(dc.network->bytes, 0.0);
+  ASSERT_TRUE(gc.device.has_value());
+  EXPECT_GT(gc.device->kernels, 0u);
+  EXPECT_GE(gc.device->divergence_factor, 1.0);
+
+  // Completions stream on every backend.
+  EXPECT_EQ(mc.result.completions.size(), cfg.num_trajectories);
+  EXPECT_EQ(dc.result.completions.size(), cfg.num_trajectories);
+  EXPECT_EQ(gc.result.completions.size(), cfg.num_trajectories);
+}
+
+TEST(Session, CallbacksArriveInTimeOrderWithProgress) {
+  const auto m = models::make_neurospora_cwc({});
+  const auto cfg = small_config();
+
+  std::vector<std::uint64_t> first_samples;
+  std::uint64_t done_events = 0;
+  std::uint64_t last_progress_done = 0;
+  std::uint64_t last_progress_windows = 0;
+
+  auto s = cwcsim::run_builder().model(m).config(cfg).open();
+  s.on_window([&](const cwcsim::window_summary& w) {
+      first_samples.push_back(w.first_sample);
+    })
+      .on_trajectory_done([&](const cwcsim::task_done& d) {
+        EXPECT_LT(d.trajectory_id, cfg.num_trajectories);
+        ++done_events;
+      })
+      .on_progress([&](const cwcsim::progress& p) {
+        EXPECT_EQ(p.trajectories_total, cfg.num_trajectories);
+        EXPECT_GE(p.trajectories_done, last_progress_done);
+        EXPECT_GE(p.windows_emitted, last_progress_windows);
+        last_progress_done = p.trajectories_done;
+        last_progress_windows = p.windows_emitted;
+      });
+  const auto report = s.wait();
+
+  // Windows arrive in strict time order, spaced by the slide.
+  ASSERT_EQ(first_samples.size(), report.result.windows.size());
+  for (std::size_t i = 0; i + 1 < first_samples.size(); ++i)
+    EXPECT_EQ(first_samples[i + 1] - first_samples[i], cfg.window_slide);
+
+  EXPECT_EQ(done_events, cfg.num_trajectories);
+  EXPECT_EQ(last_progress_done, cfg.num_trajectories);
+  EXPECT_EQ(last_progress_windows, report.result.windows.size());
+}
+
+class session_stop_test : public ::testing::TestWithParam<cwcsim::backend> {};
+
+TEST_P(session_stop_test, RequestStopMidRunYieldsPartialReport) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  cfg.t_end = 200.0;  // long campaign: ~100 windows if left alone
+  cfg.window_size = 4;
+  cfg.window_slide = 4;
+  cfg.kmeans_k = 0;
+
+  auto s = cwcsim::run_builder()
+               .model(m)
+               .config(cfg)
+               .backend(GetParam())
+               .open();
+  std::uint64_t windows_seen = 0;
+  s.on_window([&](const cwcsim::window_summary&) {
+    if (++windows_seen == 2) s.request_stop();
+  });
+  const auto report = s.wait();
+
+  EXPECT_TRUE(report.stopped);
+  EXPECT_GE(windows_seen, 2u);
+  // Far fewer windows than the full campaign, and incomplete trajectories.
+  EXPECT_LT(report.result.windows.size(),
+            cfg.num_samples() / cfg.window_slide);
+  EXPECT_LT(report.result.completions.size(), cfg.num_trajectories);
+  // The partial stream is still ordered and self-consistent.
+  for (std::size_t i = 0; i + 1 < report.result.windows.size(); ++i)
+    EXPECT_EQ(report.result.windows[i + 1].first_sample -
+                  report.result.windows[i].first_sample,
+              cfg.window_slide);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, session_stop_test,
+    ::testing::Values(cwcsim::backend{cwcsim::multicore{}},
+                      cwcsim::backend{cwcsim::distributed{2, 2}},
+                      cwcsim::backend{cwcsim::gpu{simt::devices::laptop_gpu()}}));
+
+TEST(Session, StopBeforeStartDrainsImmediately) {
+  const auto m = models::make_neurospora_cwc({});
+  auto s = cwcsim::run_builder().model(m).config(small_config()).open();
+  s.request_stop();
+  const auto report = s.wait();
+  EXPECT_TRUE(report.stopped);
+  EXPECT_TRUE(report.result.windows.empty());
+  EXPECT_TRUE(report.result.completions.empty());
+}
+
+TEST(Session, SubscriptionAfterStartIsRejected) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  cfg.num_trajectories = 2;
+  cfg.t_end = 2.0;
+  auto s = cwcsim::run_builder().model(m).config(cfg).open();
+  s.start();
+  EXPECT_THROW(s.on_window([](const cwcsim::window_summary&) {}),
+               util::precondition_error);
+  (void)s.wait();
+}
+
+TEST(Session, RunFacadeMatchesBatchHelper) {
+  const auto net = models::make_birth_death({});
+  auto cfg = small_config();
+  cfg.t_end = 6.0;
+  cfg.kmeans_k = 0;
+  const auto report = cwcsim::run(net, cfg);
+  const auto batch = cwcsim::simulate(net, cfg);
+  expect_windows_bitexact(report.result.windows, batch.windows);
+  EXPECT_EQ(report.backend, "multicore");
+}
+
+// ------------------------- centralized validation -------------------------
+
+TEST(Validate, RejectsDegenerateKnobsWithTypedDiagnostics) {
+  const auto base = small_config();
+
+  auto field_of = [](cwcsim::sim_config cfg) -> std::string {
+    try {
+      cwcsim::validate(cfg);
+    } catch (const cwcsim::config_error& e) {
+      return e.field();
+    }
+    return "";
+  };
+
+  auto cfg = base;
+  cfg.sim_workers = 0;
+  EXPECT_EQ(field_of(cfg), "sim_workers");
+
+  cfg = base;
+  cfg.window_slide = 0;
+  EXPECT_EQ(field_of(cfg), "window_slide");
+
+  cfg = base;
+  cfg.window_size = 4;
+  cfg.window_slide = 5;  // would skip cuts
+  EXPECT_EQ(field_of(cfg), "window_slide");
+
+  cfg = base;
+  cfg.sample_period = 0.0;
+  EXPECT_EQ(field_of(cfg), "sample_period");
+
+  cfg = base;
+  cfg.num_trajectories = 0;
+  EXPECT_EQ(field_of(cfg), "num_trajectories");
+
+  // Backend-specific checks flow through the same entry point.
+  EXPECT_THROW(cwcsim::validate(base, cwcsim::distributed{0, 2}),
+               cwcsim::config_error);
+  EXPECT_THROW(cwcsim::validate(base, cwcsim::distributed{2, 0}),
+               cwcsim::config_error);
+
+  // config_error stays catchable as the historical precondition_error.
+  EXPECT_THROW(cwcsim::validate(base, cwcsim::distributed{0, 2}),
+               util::precondition_error);
+}
+
+TEST(Validate, BuilderRejectsBeforeLaunch) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  cfg.window_slide = 0;
+  EXPECT_THROW(cwcsim::run_builder().model(m).config(cfg).open(),
+               cwcsim::config_error);
+  EXPECT_THROW(cwcsim::run_builder().config(small_config()).open(),
+               cwcsim::config_error);  // no model
+}
+
+// --------------------------- sampling-grid hardening ----------------------
+
+TEST(Config, NumSamplesSurvivesFloatingPointTruncation) {
+  cwcsim::sim_config cfg;
+  cfg.t_end = 30.0;
+  cfg.sample_period = 0.1;  // 30 / 0.1 lands at 299.999… in binary
+  EXPECT_EQ(cfg.num_samples(), 301u);
+
+  cfg.sample_period = 0.5;
+  EXPECT_EQ(cfg.num_samples(), 61u);
+
+  cfg.t_end = 1.9;  // genuinely off-grid horizon: last sample at 1.5
+  EXPECT_EQ(cfg.num_samples(), 4u);
+}
+
+TEST(Config, EnginesEmitExactlyNumSamplesOnAwkwardGrids) {
+  // End-to-end agreement between sim_config::num_samples() and what the
+  // engines actually emit on a grid where naive truncation loses a point.
+  const auto net = models::make_birth_death({});
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = 4;
+  cfg.t_end = 3.0;
+  cfg.sample_period = 0.1;
+  cfg.quantum = 1.0;
+  cfg.sim_workers = 2;
+  cfg.window_size = 8;
+  cfg.window_slide = 8;
+  cfg.kmeans_k = 0;
+  EXPECT_EQ(cfg.num_samples(), 31u);
+  const auto res = cwcsim::simulate(net, cfg);
+  EXPECT_EQ(res.all_cuts().size(), cfg.num_samples());
+}
+
+}  // namespace
