@@ -24,6 +24,23 @@ void bm_cwc_step_neurospora(benchmark::State& state) {
 }
 BENCHMARK(bm_cwc_step_neurospora);
 
+// The naive full-recollect baseline the incremental cache is measured
+// against (same sample path bit-for-bit; see engine_mode::reference).
+void bm_cwc_step_neurospora_reference(benchmark::State& state) {
+  const auto m = models::make_neurospora_cwc({});
+  cwc::engine eng(m, 1, 0, cwc::engine_mode::reference);
+  for (auto _ : state) {
+    if (!eng.step()) {
+      state.PauseTiming();
+      eng = cwc::engine(m, 1, eng.trajectory_id() + 1,
+                        cwc::engine_mode::reference);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_cwc_step_neurospora_reference);
+
 void bm_flat_step_neurospora(benchmark::State& state) {
   const auto net = models::make_neurospora_flat({});
   cwc::flat_engine eng(net, 1, 0);

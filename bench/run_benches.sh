@@ -1,0 +1,95 @@
+#!/usr/bin/env sh
+# Engine benchmark runner: executes the google-benchmark microbenchmarks
+# (micro_engine, micro_ff) plus the stream_latency harness and merges their
+# results into BENCH_engine.json at the repo root, the tracked record of the
+# engine's perf trajectory.
+#
+# Usage:
+#   ./bench/run_benches.sh [build-dir] [min-time]
+#
+#   build-dir  build tree containing bench/ binaries   (default: build)
+#   min-time   google-benchmark --benchmark_min_time   (default: 0.5)
+#
+# BENCH_engine.json schema: a JSON object
+#   {
+#     "generated_by": "bench/run_benches.sh",
+#     "min_time": "<min-time>",
+#     "results": [ {"bench": str, "items_per_sec": num|null,
+#                   "real_time_ns": num}, ... ]
+#   }
+# Comparing runs: check out the baseline commit, run this script, stash the
+# JSON, check out the candidate, run again, and diff the two files (or eyeball
+# items_per_sec per bench name — higher is better; real_time_ns lower is
+# better). CI's non-gating bench-smoke job uploads the same JSON per PR so
+# regressions are visible in PR history without blocking merges.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+MIN_TIME="${2:-0.5}"
+OUT="BENCH_engine.json"
+
+if [ ! -x "$BUILD_DIR/bench/micro_engine" ]; then
+  echo "error: $BUILD_DIR/bench/micro_engine not built" >&2
+  echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  echo "      (micro benchmarks need libbenchmark-dev installed)" >&2
+  exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD_DIR/bench/micro_engine" \
+  --benchmark_format=json \
+  --benchmark_min_time="${MIN_TIME}" > "$TMP/micro_engine.json"
+
+if [ -x "$BUILD_DIR/bench/micro_ff" ]; then
+  "$BUILD_DIR/bench/micro_ff" \
+    --benchmark_format=json \
+    --benchmark_min_time="${MIN_TIME}" > "$TMP/micro_ff.json"
+fi
+
+# stream_latency is a bespoke harness (not google-benchmark); keep its raw
+# stdout alongside the merged metrics so latency percentiles stay visible.
+if [ -x "$BUILD_DIR/bench/stream_latency" ]; then
+  "$BUILD_DIR/bench/stream_latency" \
+    --trajectories "${STREAM_TRAJECTORIES:-16}" \
+    --t-end "${STREAM_T_END:-30}" > "$TMP/stream_latency.txt" 2>&1 || true
+fi
+
+python3 - "$TMP" "$MIN_TIME" "$OUT" <<'PY'
+import json
+import pathlib
+import sys
+
+tmp, min_time, out = pathlib.Path(sys.argv[1]), sys.argv[2], sys.argv[3]
+results = []
+
+for name in ("micro_engine.json", "micro_ff.json"):
+    path = tmp / name
+    if not path.exists():
+        continue
+    doc = json.loads(path.read_text())
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        # Normalize real_time to nanoseconds whatever unit the bench used.
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[b.get("time_unit", "ns")]
+        results.append({
+            "bench": b["name"],
+            "items_per_sec": b.get("items_per_second"),
+            "real_time_ns": b["real_time"] * scale,
+        })
+
+doc = {
+    "generated_by": "bench/run_benches.sh",
+    "min_time": min_time,
+    "results": results,
+}
+latency = tmp / "stream_latency.txt"
+if latency.exists():
+    doc["stream_latency_raw"] = latency.read_text().splitlines()
+
+pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+print(f"wrote {out} ({len(results)} benchmarks)")
+PY

@@ -1,53 +1,325 @@
 #include "cwc/gillespie.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/check.hpp"
 
 namespace cwc {
 
-engine::engine(const model& m, std::uint64_t seed, std::uint64_t trajectory_id)
+namespace {
+
+/// a ≈ b under a relative tolerance (absolute near zero).
+bool approx_equal(double a, double b, double rel_tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= rel_tol * scale;
+}
+
+}  // namespace
+
+engine::engine(const model& m, std::uint64_t seed, std::uint64_t trajectory_id,
+               engine_mode mode)
     : model_(&m),
       state_(m.make_initial_state()),
       trajectory_id_(trajectory_id),
-      rng_(seed, trajectory_id) {}
+      rng_(seed, trajectory_id),
+      mode_(mode) {
+  build_static_tables();
+  rebuild_order();  // builds and enumerates a block for every compartment
+}
 
-double engine::collect() {
-  matches_.clear();
-  double cum = 0.0;
-  // Pre-order walk; enumeration order is deterministic, which together with
-  // the per-trajectory RNG stream makes the whole sample path deterministic.
-  state_->visit([&](compartment& host) {
-    for (const rule& r : model_->rules()) {
-      if (!r.applies_in(host.type())) continue;
-      for (const rule::match& m : r.enumerate(host)) {
-        cum += m.propensity;
-        matches_.push_back(candidate{&host, &r, m, cum});
-      }
+void engine::build_static_tables() {
+  const auto& rules = model_->rules();
+  const std::size_t num_rules = rules.size();
+  const std::size_t num_types = model_->compartment_types().size();
+  const std::size_t num_species = model_->species().size();
+
+  // Applicable-rule lists and rule -> slot maps, per compartment type.
+  rules_for_type_.assign(num_types, {});
+  slot_of_.assign(num_types,
+                  std::vector<std::int32_t>(num_rules, -1));
+  for (std::size_t t = 0; t < num_types; ++t) {
+    for (std::size_t j = 0; j < num_rules; ++j) {
+      if (!rules[j].applies_in(static_cast<comp_type_id>(t))) continue;
+      slot_of_[t][j] = static_cast<std::int32_t>(rules_for_type_[t].size());
+      rules_for_type_[t].push_back(static_cast<std::uint32_t>(j));
     }
+  }
+
+  // Per-rule species footprints. A species bitmap per channel:
+  //   w_local : host content the rule writes (reactants + products;
+  //             dissolve releases arbitrary child content -> writes all)
+  //   w_child : bound-child content the rule writes (consumed + produced)
+  //   r_local : host content a mass-action rule reads (reactants)
+  //   r_child : bound-child content a mass-action rule reads (content_req;
+  //             wraps are immutable after creation, so wrap_req never
+  //             invalidates)
+  // Non-mass-action laws (MM/Hill/custom) read driver counts the footprint
+  // cannot see, so they conservatively depend on every rule — exactly the
+  // fallback next_reaction_engine::build_dependencies uses.
+  auto mark = [num_species](std::vector<char>& bits, const multiset& ms) {
+    ms.for_each([&](species_id s, std::uint64_t) {
+      if (s < num_species) bits[s] = 1;
+    });
+  };
+  auto intersects = [](const std::vector<char>& a, const std::vector<char>& b) {
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i)
+      if (a[i] != 0 && b[i] != 0) return true;
+    return false;
+  };
+  auto any_bit = [](const std::vector<char>& a) {
+    for (char c : a)
+      if (c != 0) return true;
+    return false;
+  };
+
+  std::vector<std::vector<char>> w_local(num_rules,
+                                         std::vector<char>(num_species, 0));
+  std::vector<std::vector<char>> w_child(num_rules,
+                                         std::vector<char>(num_species, 0));
+  std::vector<std::vector<char>> r_local(num_rules,
+                                         std::vector<char>(num_species, 0));
+  std::vector<std::vector<char>> r_child(num_rules,
+                                         std::vector<char>(num_species, 0));
+  std::vector<char> w_local_all(num_rules, 0);
+  std::vector<char> structural(num_rules, 0);
+  std::vector<char> conservative(num_rules, 0);
+  writes_host_.assign(num_rules, 0);
+  writes_child_.assign(num_rules, 0);
+
+  for (std::size_t j = 0; j < num_rules; ++j) {
+    const rule& r = rules[j];
+    mark(w_local[j], r.reactants());
+    mark(w_local[j], r.products());
+    mark(r_local[j], r.reactants());
+    if (r.child_pattern().has_value()) {
+      mark(w_child[j], r.child_pattern()->content_req);
+      mark(w_child[j], r.child_products());
+      mark(r_child[j], r.child_pattern()->content_req);
+    }
+    conservative[j] = r.law().is_mass_action() ? 0 : 1;
+    structural[j] =
+        (!r.new_compartments().empty() || r.fate() != child_fate::keep) ? 1 : 0;
+    if (r.fate() == child_fate::dissolve) w_local_all[j] = 1;
+    writes_host_[j] = (!r.reactants().is_empty() || !r.products().is_empty() ||
+                       r.fate() == child_fate::dissolve)
+                          ? 1
+                          : 0;
+    writes_child_[j] = (r.child_pattern().has_value() &&
+                        r.fate() == child_fate::keep &&
+                        (!r.child_pattern()->content_req.is_empty() ||
+                         !r.child_products().is_empty()))
+                           ? 1
+                           : 0;
+  }
+
+  // Dependency lists: after rule j fires, which rules must be re-enumerated
+  // in the host block, the bound child's block, and the host's parent block.
+  redo_host_.assign(num_rules, {});
+  redo_child_.assign(num_rules, {});
+  redo_parent_.assign(num_rules, {});
+  for (std::size_t j = 0; j < num_rules; ++j) {
+    for (std::size_t k = 0; k < num_rules; ++k) {
+      const bool k_child = rules[k].child_pattern().has_value();
+      const bool local_hit =
+          (w_local_all[j] != 0 && any_bit(r_local[k])) ||
+          intersects(r_local[k], w_local[j]);
+      const bool child_hit =
+          k_child && (structural[j] != 0 || intersects(r_child[k], w_child[j]));
+      if (conservative[k] != 0 || local_hit || child_hit)
+        redo_host_[j].push_back(static_cast<std::uint32_t>(k));
+      if (conservative[k] != 0 || intersects(r_local[k], w_child[j]))
+        redo_child_[j].push_back(static_cast<std::uint32_t>(k));
+      const bool parent_hit =
+          k_child && ((w_local_all[j] != 0 && any_bit(r_child[k])) ||
+                      intersects(r_child[k], w_local[j]));
+      if (conservative[k] != 0 || parent_hit)
+        redo_parent_[j].push_back(static_cast<std::uint32_t>(k));
+    }
+  }
+}
+
+engine::comp_block& engine::ensure_block(compartment& c) {
+  auto it = cache_.find(&c);
+  if (it != cache_.end()) return *it->second;
+  auto blk = std::make_unique<comp_block>();
+  blk->comp = &c;
+  const auto& applicable = rules_for_type_[c.type()];
+  blk->slots.reserve(applicable.size());
+  for (std::uint32_t j : applicable) blk->slots.push_back(rule_slot{j, {}});
+  for (rule_slot& sl : blk->slots) enumerate_slot(*blk, sl);
+  resum_block(*blk);
+  comp_block& ref = *blk;
+  cache_.emplace(&c, std::move(blk));
+  return ref;
+}
+
+void engine::enumerate_slot(comp_block& b, rule_slot& sl) {
+  sl.matches.clear();  // capacity retained: no allocation once warmed up
+  model_->rules()[sl.rule].for_each_match(
+      *b.comp, [&](std::size_t child, double p) {
+        sl.matches.push_back(
+            match_rec{child == rule::no_child
+                          ? kNoChild
+                          : static_cast<std::uint32_t>(child),
+                      p});
+      });
+}
+
+void engine::resum_block(comp_block& b) {
+  // Canonical left-to-right fold (rule declaration order, children in index
+  // order): a block refreshed piecemeal re-sums to the bit-identical value a
+  // fresh enumeration would produce.
+  double sub = 0.0;
+  for (const rule_slot& sl : b.slots)
+    for (const match_rec& mr : sl.matches) sub += mr.propensity;
+  b.subtotal = sub;
+}
+
+void engine::rebuild_order() {
+  order_.clear();
+  state_->visit_with_parent([&](compartment& c, compartment* parent) {
+    comp_block& b = ensure_block(c);
+    b.parent = parent;
+    order_.push_back(&b);
   });
-  return cum;
+}
+
+void engine::refresh_all() {
+  // The naive reference collector: walk the whole tree and re-enumerate
+  // every (compartment, rule, child) match from the current state.
+  order_.clear();
+  state_->visit_with_parent([&](compartment& c, compartment* parent) {
+    comp_block& b = ensure_block(c);
+    b.parent = parent;
+    for (rule_slot& sl : b.slots) enumerate_slot(b, sl);
+    resum_block(b);
+    order_.push_back(&b);
+  });
+}
+
+void engine::refresh_block(comp_block& b,
+                           const std::vector<std::uint32_t>& rules) {
+  const auto& slots_by_rule = slot_of_[b.comp->type()];
+  bool any = false;
+  for (std::uint32_t k : rules) {
+    const std::int32_t si = slots_by_rule[k];
+    if (si < 0) continue;  // rule not applicable in this compartment type
+    enumerate_slot(b, b.slots[static_cast<std::size_t>(si)]);
+    any = true;
+  }
+  if (any) resum_block(b);
+}
+
+void engine::refresh_after_fire(std::uint32_t fired, compartment* host) {
+  if (fx_.structure_changed) rebuild_order();
+  comp_block& hb = *cache_.at(host);
+  refresh_block(hb, redo_host_[fired]);
+  if (fx_.bound_child != nullptr && writes_child_[fired] != 0)
+    refresh_block(*cache_.at(fx_.bound_child), redo_child_[fired]);
+  if (writes_host_[fired] != 0 && hb.parent != nullptr)
+    refresh_block(*cache_.at(hb.parent), redo_parent_[fired]);
+}
+
+double engine::current_total() {
+  double total = 0.0;
+  for (const comp_block* b : order_) total += b->subtotal;
+  return total;
 }
 
 void engine::fire(double target) {
-  // Linear scan over the cumulative sums; match lists are short (tens).
-  for (const candidate& c : matches_) {
-    if (c.cumulative >= target) {
-      c.r->apply(*c.host, c.m);
-      ++steps_;
-      return;
+  // Two-level selection: a prefix walk over the per-compartment block
+  // subtotals finds the compartment, then a linear scan inside that block's
+  // short match list finds the (rule, child) match. Identical arithmetic in
+  // both engine modes keeps sample paths bit-for-bit reproducible.
+  comp_block* chosen = nullptr;
+  std::uint32_t rule_idx = 0;
+  std::uint32_t child = kNoChild;
+  bool found = false;
+
+  double cum = 0.0;
+  for (comp_block* b : order_) {
+    const double with = cum + b->subtotal;
+    if (b->subtotal > 0.0 && with >= target) {
+      double inner = cum;
+      for (rule_slot& sl : b->slots) {
+        for (const match_rec& mr : sl.matches) {
+          inner += mr.propensity;
+          if (inner >= target) {
+            chosen = b;
+            rule_idx = sl.rule;
+            child = mr.child;
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (!found) {
+        // Floating-point tail inside the block: fall back to its last match.
+        for (auto it = b->slots.rbegin(); it != b->slots.rend() && !found;
+             ++it) {
+          if (it->matches.empty()) continue;
+          chosen = b;
+          rule_idx = it->rule;
+          child = it->matches.back().child;
+          found = true;
+        }
+      }
+      break;  // selection always terminates at the first qualifying block
+    }
+    cum = with;
+  }
+  if (!found) {
+    // Floating-point tail at the grand level: fall back to the last match
+    // anywhere (mirrors the historical fallback; unreachable for finite
+    // positive propensities since the block fold reproduces the total).
+    for (auto bit = order_.rbegin(); bit != order_.rend() && !found; ++bit) {
+      for (auto it = (*bit)->slots.rbegin();
+           it != (*bit)->slots.rend() && !found; ++it) {
+        if (it->matches.empty()) continue;
+        chosen = *bit;
+        rule_idx = it->rule;
+        child = it->matches.back().child;
+        found = true;
+      }
     }
   }
-  // Floating-point tail: fall back to the last candidate.
-  util::ensures(!matches_.empty(), "SSA selection on empty match set");
-  const candidate& last = matches_.back();
-  last.r->apply(*last.host, last.m);
+  util::ensures(found, "SSA selection on empty match set");
+
+  const rule& r = model_->rules()[rule_idx];
+  rule::match m;
+  if (child != kNoChild) m.child_index = child;
+  compartment* host = chosen->comp;
+  r.apply(*host, m, &fx_);
   ++steps_;
+
+  // Drop cache entries for compartments the firing destroyed *before* the
+  // nodes are freed (a later allocation may reuse the address).
+  if (fx_.removed != nullptr)
+    fx_.removed->visit([&](compartment& dead) { cache_.erase(&dead); });
+
+  if (mode_ == engine_mode::incremental) {
+    refresh_after_fire(rule_idx, host);
+#ifndef NDEBUG
+    if (steps_ % kConsistencyPeriod == 0)
+      util::ensures(check_match_cache(),
+                    "incremental match cache diverged from a fresh collect");
+#endif
+  } else {
+    // Reference mode re-collects eagerly so the cache (and the pre-order
+    // view in order_ — no dangling block pointers after a structural
+    // rewrite) is always consistent with the live tree.
+    refresh_all();
+  }
+  fx_.removed.reset();
 }
 
 bool engine::step() {
   if (stalled_) return false;
-  const double total = collect();
+  const double total = current_total();
   if (total <= 0.0) {
     stalled_ = true;
     return false;
@@ -66,7 +338,8 @@ bool engine::step() {
 void engine::record_sample(double at, std::vector<trajectory_sample>& out) {
   trajectory_sample s;
   s.time = at;
-  s.values = model_->observe_all(*state_);
+  // One right-sized allocation for the sample's own buffer; no temporaries.
+  model_->observe_all(*state_, s.values);
   out.push_back(std::move(s));
 }
 
@@ -82,7 +355,7 @@ void engine::run_to(double t_end, double sample_period,
 
   while (true) {
     if (stalled_) break;
-    const double total = collect();
+    const double total = current_total();
     if (total <= 0.0) {
       stalled_ = true;
       break;
@@ -119,6 +392,56 @@ void engine::run_to(double t_end, double sample_period,
     ++next_sample_k_;
   }
   time_ = t_end;
+}
+
+bool engine::check_match_cache(double rel_tol) const {
+  bool ok = true;
+  std::size_t idx = 0;
+  double cached_total = 0.0;
+  double fresh_total = 0.0;
+  state_->visit([&](const compartment& c) {
+    if (!ok) return;
+    if (idx >= order_.size() || order_[idx]->comp != &c) {
+      ok = false;  // pre-order view out of sync with the live tree
+      return;
+    }
+    const comp_block& b = *order_[idx++];
+    const auto& applicable = rules_for_type_[c.type()];
+    if (b.slots.size() != applicable.size()) {
+      ok = false;
+      return;
+    }
+    double fresh_sub = 0.0;
+    for (std::size_t si = 0; si < applicable.size(); ++si) {
+      const rule_slot& sl = b.slots[si];
+      if (sl.rule != applicable[si]) {
+        ok = false;
+        return;
+      }
+      std::size_t mi = 0;
+      model_->rules()[sl.rule].for_each_match(
+          c, [&](std::size_t child, double p) {
+            fresh_sub += p;
+            if (!ok || mi >= sl.matches.size()) {
+              ok = false;
+              return;
+            }
+            const match_rec& mr = sl.matches[mi++];
+            const std::uint32_t want =
+                child == rule::no_child ? kNoChild
+                                        : static_cast<std::uint32_t>(child);
+            if (mr.child != want || !approx_equal(mr.propensity, p, rel_tol))
+              ok = false;
+          });
+      if (mi != sl.matches.size()) ok = false;
+      if (!ok) return;
+    }
+    if (!approx_equal(fresh_sub, b.subtotal, rel_tol)) ok = false;
+    cached_total += b.subtotal;
+    fresh_total += fresh_sub;
+  });
+  if (idx != order_.size()) ok = false;
+  return ok && approx_equal(fresh_total, cached_total, rel_tol);
 }
 
 }  // namespace cwc

@@ -1,17 +1,29 @@
 // Gillespie's Stochastic Simulation Algorithm (direct method, 1977) over
-// CWC terms. Each SSA step enumerates every (compartment, rule, child)
-// match in the term tree, draws the exponential waiting time from the total
-// propensity, and applies the selected rewrite in place.
+// CWC terms, with incremental propensity maintenance: every compartment
+// owns a cached *match block* (its per-rule match lists plus a propensity
+// subtotal), and after a rule fires only the compartments it touched —
+// host, bound child, host's parent, created/dissolved/removed nodes — are
+// re-enumerated, driven by a rule→rule dependency index built from the
+// rules' reactant/product/child-pattern footprints (non-mass-action rate
+// laws conservatively depend on everything, mirroring
+// next_reaction_engine::build_dependencies). The steady-state step is
+// allocation-free: match lists and the sample values buffer are reused.
 //
 // Reproducibility: every engine owns an rng_stream keyed by
 // (seed, trajectory id), so a trajectory's sample path is a pure function
 // of (model, seed, id) — independent of scheduling, platform, or worker
 // count. The multicore/distributed/SIMT equivalence tests rely on this.
+// The incremental cache preserves the enumeration order (pre-order tree
+// walk, rules in declaration order, children in index order) and the RNG
+// consumption bit-for-bit relative to engine_mode::reference, the naive
+// collector that re-walks the whole tree every step
+// (tests/cwc_incremental_test.cpp locksteps the two).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "cwc/model.hpp"
@@ -26,9 +38,21 @@ struct trajectory_sample {
   std::vector<double> values;
 };
 
+/// How the engine maintains its match set.
+enum class engine_mode {
+  /// Cached per-compartment match blocks refreshed through the rule
+  /// dependency index (the default, and the fast path).
+  incremental,
+  /// Re-enumerate every (compartment, rule, child) match from scratch on
+  /// every step — the naive golden baseline the incremental cache is
+  /// locked against. Sample paths are bit-identical across modes.
+  reference,
+};
+
 class engine {
  public:
-  engine(const model& m, std::uint64_t seed, std::uint64_t trajectory_id);
+  engine(const model& m, std::uint64_t seed, std::uint64_t trajectory_id,
+         engine_mode mode = engine_mode::incremental);
 
   double time() const noexcept { return time_; }
   const term& state() const noexcept { return *state_; }
@@ -52,18 +76,59 @@ class engine {
   void run_to(double t_end, double sample_period,
               std::vector<trajectory_sample>& out);
 
+  /// Cross-check the cached match blocks against a fresh full collect:
+  /// match sets must agree exactly (rule, child, order) and subtotals
+  /// within `rel_tol`. Debug builds run this automatically every
+  /// `kConsistencyPeriod` steps; the lockstep test calls it directly.
+  bool check_match_cache(double rel_tol = 1e-9) const;
+
+  /// How often debug builds self-check the cache (in SSA steps).
+  static constexpr std::uint64_t kConsistencyPeriod = 256;
+
  private:
-  struct candidate {
-    compartment* host = nullptr;
-    const rule* r = nullptr;
-    rule::match m;
-    double cumulative = 0.0;
+  static constexpr std::uint32_t kNoChild = 0xFFFFFFFFu;
+
+  /// One cached match: which child is bound (kNoChild for none) and the
+  /// propensity computed when the owning slot was last refreshed.
+  struct match_rec {
+    std::uint32_t child = kNoChild;
+    double propensity = 0.0;
   };
 
-  /// Enumerate all matches into matches_; returns the total propensity.
-  double collect();
+  /// Cached matches of one rule inside one compartment, in child order.
+  struct rule_slot {
+    std::uint32_t rule = 0;          ///< index into model_->rules()
+    std::vector<match_rec> matches;  ///< storage reused across refreshes
+  };
 
-  /// Apply the match selected by `target` in (0, total].
+  /// A compartment's match block: one slot per applicable rule (rule
+  /// declaration order) plus the block's propensity subtotal, defined as
+  /// the left-to-right sum over all slot matches.
+  struct comp_block {
+    compartment* comp = nullptr;
+    compartment* parent = nullptr;  ///< nullptr for the root
+    std::vector<rule_slot> slots;
+    double subtotal = 0.0;
+  };
+
+  // ---- cache maintenance -------------------------------------------
+  void build_static_tables();
+  comp_block& ensure_block(compartment& c);
+  void enumerate_slot(comp_block& b, rule_slot& sl);
+  void resum_block(comp_block& b);
+  void rebuild_order();
+  void refresh_all();
+  void refresh_block(comp_block& b, const std::vector<std::uint32_t>& rules);
+  void refresh_after_fire(std::uint32_t fired, compartment* host);
+
+  /// Total propensity of the current state: the pre-order fold of the
+  /// cached block subtotals. Both modes keep the cache consistent with the
+  /// live tree between steps (incremental via refresh_after_fire, reference
+  /// via a full refresh_all after every firing).
+  double current_total();
+
+  /// Select and apply the match at cumulative position `target` in
+  /// (0, total], then refresh the touched blocks.
   void fire(double target);
 
   void record_sample(double at, std::vector<trajectory_sample>& out);
@@ -76,7 +141,24 @@ class engine {
   std::uint64_t trajectory_id_;
   bool stalled_ = false;
   util::rng_stream rng_;
-  std::vector<candidate> matches_;  // reused across steps
+  engine_mode mode_;
+
+  // Match cache: block per live compartment plus the pre-order view the
+  // selection scan and the total fold walk. Raw pointers in order_ stay
+  // valid across engine moves (map nodes are stable).
+  std::unordered_map<const compartment*, std::unique_ptr<comp_block>> cache_;
+  std::vector<comp_block*> order_;
+
+  // Static per-model tables (built once per engine):
+  std::vector<std::vector<std::uint32_t>> rules_for_type_;  ///< [type] -> rule idxs
+  std::vector<std::vector<std::int32_t>> slot_of_;  ///< [type][rule] -> slot or -1
+  std::vector<std::vector<std::uint32_t>> redo_host_;    ///< rules to redo in host
+  std::vector<std::vector<std::uint32_t>> redo_child_;   ///< ... in bound child
+  std::vector<std::vector<std::uint32_t>> redo_parent_;  ///< ... in host's parent
+  std::vector<std::uint8_t> writes_host_;   ///< rule writes host content
+  std::vector<std::uint8_t> writes_child_;  ///< rule writes kept child content
+
+  apply_effects fx_;  ///< reused across steps (no per-step allocation)
   /// Absolute time of a reaction drawn but deferred past a quantum horizon.
   std::optional<double> pending_t_next_;
 };

@@ -48,10 +48,15 @@ double model::observe(const term& state, std::size_t index) const {
 
 std::vector<double> model::observe_all(const term& state) const {
   std::vector<double> out;
+  observe_all(state, out);
+  return out;
+}
+
+void model::observe_all(const term& state, std::vector<double>& out) const {
+  out.clear();
   out.reserve(observables_.size());
   for (std::size_t i = 0; i < observables_.size(); ++i)
     out.push_back(observe(state, i));
-  return out;
 }
 
 std::unique_ptr<term> model::make_initial_state() const {

@@ -52,6 +52,10 @@ class model {
   double observe(const term& state, std::size_t index) const;
   std::vector<double> observe_all(const term& state) const;
 
+  /// Buffer-reusing form: clears `out` and refills it with one value per
+  /// observable (no allocation once `out` has warmed up capacity).
+  void observe_all(const term& state, std::vector<double>& out) const;
+
   /// A fresh deep copy of the initial term (one per trajectory).
   std::unique_ptr<term> make_initial_state() const;
 

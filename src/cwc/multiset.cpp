@@ -8,6 +8,11 @@ namespace cwc {
 
 double choose(std::uint64_t n, std::uint64_t k) noexcept {
   if (k > n) return 0.0;
+  // Small-k fast paths: k <= 2 covers almost every stochiometry in the
+  // model library, and the hot matching loop calls this per species.
+  if (k == 0) return 1.0;
+  if (k == 1) return static_cast<double>(n);
+  if (k == 2) return static_cast<double>(n) * (static_cast<double>(n - 1) / 2.0);
   double r = 1.0;
   for (std::uint64_t i = 0; i < k; ++i) {
     r *= static_cast<double>(n - i) / static_cast<double>(i + 1);
@@ -52,11 +57,14 @@ void multiset::set(species_id s, std::uint64_t n) {
 }
 
 bool multiset::contains(const multiset& sub) const {
-  bool ok = true;
-  sub.for_each([&](species_id s, std::uint64_t n) {
-    if (count(s) < n) ok = false;
-  });
-  return ok;
+  // Indexed loop with early exit on the first infeasible species (the
+  // for_each-based sweep kept scanning after the answer was known).
+  const std::size_t n = sub.counts_.size();
+  for (species_id s = 0; s < n; ++s) {
+    const std::uint64_t need = sub.counts_[s];
+    if (need != 0 && count(s) < need) return false;
+  }
+  return true;
 }
 
 void multiset::add_all(const multiset& other) {
@@ -65,18 +73,24 @@ void multiset::add_all(const multiset& other) {
 
 void multiset::remove_all(const multiset& other) {
   util::expects(contains(other), "multiset remove_all: not contained");
-  other.for_each([&](species_id s, std::uint64_t n) { counts_[s] -= n; });
+  const std::size_t n = other.counts_.size();
+  for (species_id s = 0; s < n; ++s) {
+    // Skip zeros: `other` may have a larger universe than this multiset.
+    if (other.counts_[s] != 0) counts_[s] -= other.counts_[s];
+  }
 }
 
 double multiset::combinations(const multiset& pattern) const {
   double prod = 1.0;
-  bool feasible = true;
-  pattern.for_each([&](species_id s, std::uint64_t m) {
-    const double ways = choose(count(s), m);
-    if (ways == 0.0) feasible = false;
-    prod *= ways;
-  });
-  return feasible ? prod : 0.0;
+  const std::size_t n = pattern.counts_.size();
+  for (species_id s = 0; s < n; ++s) {
+    const std::uint64_t m = pattern.counts_[s];
+    if (m == 0) continue;
+    const std::uint64_t have = count(s);
+    if (have < m) return 0.0;  // infeasible: stop before the remaining species
+    prod *= choose(have, m);
+  }
+  return prod;
 }
 
 bool multiset::operator==(const multiset& other) const {

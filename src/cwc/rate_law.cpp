@@ -21,13 +21,17 @@ rate_law rate_law::michaelis_menten(double vmax, double km, species_id driver,
 rate_law rate_law::hill_repression(double v, double k, double n, species_id driver,
                                    bool driver_in_child) {
   util::expects(v >= 0.0 && k > 0.0 && n > 0.0, "Hill parameters out of range");
-  return rate_law(kind::hill_repression, v, k, n, driver, driver_in_child, nullptr);
+  rate_law law(kind::hill_repression, v, k, n, driver, driver_in_child, nullptr);
+  law.kn_ = std::pow(k, n);
+  return law;
 }
 
 rate_law rate_law::hill_activation(double v, double k, double n, species_id driver,
                                    bool driver_in_child) {
   util::expects(v >= 0.0 && k > 0.0 && n > 0.0, "Hill parameters out of range");
-  return rate_law(kind::hill_activation, v, k, n, driver, driver_in_child, nullptr);
+  rate_law law(kind::hill_activation, v, k, n, driver, driver_in_child, nullptr);
+  law.kn_ = std::pow(k, n);
+  return law;
 }
 
 rate_law rate_law::custom(custom_fn fn) {
@@ -54,14 +58,13 @@ double rate_law::evaluate(const rate_ctx& ctx) const {
     }
     case kind::hill_repression: {
       const double x = driver_count(ctx);
-      const double kn = std::pow(b_, c_);
-      return a_ * kn / (kn + std::pow(x, c_));
+      return a_ * kn_ / (kn_ + std::pow(x, c_));
     }
     case kind::hill_activation: {
       const double x = driver_count(ctx);
       if (x == 0.0) return 0.0;
       const double xn = std::pow(x, c_);
-      return a_ * xn / (std::pow(b_, c_) + xn);
+      return a_ * xn / (kn_ + xn);
     }
     case kind::custom:
       return fn_(ctx);
@@ -80,14 +83,13 @@ double rate_law::evaluate_continuous(std::span<const double> y,
     }
     case kind::hill_repression: {
       const double x = driver_ < y.size() ? y[driver_] : 0.0;
-      const double kn = std::pow(b_, c_);
-      return a_ * kn / (kn + std::pow(x, c_));
+      return a_ * kn_ / (kn_ + std::pow(x, c_));
     }
     case kind::hill_activation: {
       const double x = driver_ < y.size() ? y[driver_] : 0.0;
       if (x <= 0.0) return 0.0;
       const double xn = std::pow(x, c_);
-      return a_ * xn / (std::pow(b_, c_) + xn);
+      return a_ * xn / (kn_ + xn);
     }
     case kind::custom:
       break;

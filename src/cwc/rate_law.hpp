@@ -79,6 +79,7 @@ class rate_law {
   double a_ = 0.0;  // k | Vmax | v
   double b_ = 0.0;  // -  | Km   | K
   double c_ = 0.0;  // -  | -    | n (Hill exponent)
+  double kn_ = 0.0; // K^n, precomputed for the Hill laws (one pow per step saved)
   species_id driver_ = 0;
   bool driver_in_child_ = false;
   custom_fn fn_;

@@ -65,15 +65,11 @@ double rule::match_propensity(const compartment& host,
 
 std::vector<rule::match> rule::enumerate(const compartment& host) const {
   std::vector<match> out;
-  if (!child_pattern_.has_value()) {
-    const double p = match_propensity(host, nullptr);
-    if (p > 0.0) out.push_back({std::nullopt, p});
-    return out;
-  }
-  for (std::size_t i = 0; i < host.num_children(); ++i) {
-    const double p = match_propensity(host, &host.child(i));
-    if (p > 0.0) out.push_back({i, p});
-  }
+  for_each_match(host, [&](std::size_t child, double p) {
+    out.push_back({child == no_child ? std::nullopt
+                                     : std::optional<std::size_t>(child),
+                   p});
+  });
   return out;
 }
 
@@ -85,13 +81,15 @@ double rule::total_propensity(const compartment& host) const {
   return sum;
 }
 
-void rule::apply(compartment& host, const match& m) const {
+void rule::apply(compartment& host, const match& m, apply_effects* fx) const {
+  if (fx != nullptr) fx->reset();
   host.content().remove_all(reactants_);
   host.content().add_all(products_);
 
   for (const comp_product& cp : new_compartments_) {
     auto fresh = std::make_unique<compartment>(cp.type, cp.wrap, cp.content);
     host.add_child(std::move(fresh));
+    if (fx != nullptr) fx->structure_changed = true;
   }
 
   if (!child_pattern_.has_value()) return;
@@ -106,6 +104,7 @@ void rule::apply(compartment& host, const match& m) const {
 
   switch (fate_) {
     case child_fate::keep:
+      if (fx != nullptr) fx->bound_child = &child;
       break;
     case child_fate::dissolve: {
       auto detached = host.remove_child(idx);
@@ -115,11 +114,20 @@ void rule::apply(compartment& host, const match& m) const {
       while (detached->num_children() > 0) {
         host.add_child(detached->remove_child(0));
       }
+      if (fx != nullptr) {
+        fx->structure_changed = true;
+        fx->removed = std::move(detached);  // empty shell, no children left
+      }
       break;
     }
-    case child_fate::remove:
-      host.remove_child(idx);
+    case child_fate::remove: {
+      auto detached = host.remove_child(idx);
+      if (fx != nullptr) {
+        fx->structure_changed = true;
+        fx->removed = std::move(detached);  // whole subtree
+      }
       break;
+    }
   }
 }
 

@@ -46,6 +46,26 @@ enum class child_fate {
   remove     ///< child and its whole subtree destroyed
 };
 
+/// What one rule firing touched — the engine's incremental match cache
+/// re-enumerates exactly these compartments (plus the host's parent) rather
+/// than re-walking the whole term tree. Reusable: reset() keeps capacity.
+struct apply_effects {
+  /// The bound child edited in place (fate keep); nullptr otherwise.
+  compartment* bound_child = nullptr;
+  /// True when the host's child list changed (creation/dissolve/remove).
+  bool structure_changed = false;
+  /// The detached compartment for dissolve (the emptied shell) or remove
+  /// (the whole subtree), kept alive so the caller can drop cache entries
+  /// for every node before destruction.
+  std::unique_ptr<compartment> removed;
+
+  void reset() {
+    bound_child = nullptr;
+    structure_changed = false;
+    removed.reset();
+  }
+};
+
 class rule {
  public:
   rule(std::string name, comp_type_id context, rate_law law)
@@ -91,6 +111,28 @@ class rule {
     double propensity = 0.0;
   };
 
+  /// Sentinel child index passed to for_each_match callbacks for matches
+  /// that bind no child.
+  static constexpr std::size_t no_child = static_cast<std::size_t>(-1);
+
+  /// Allocation-free form of enumerate(): invokes f(child_index, propensity)
+  /// for every positive-propensity match — child_index is `no_child` for a
+  /// childless match, otherwise children are visited in index order. This is
+  /// the engine's hot path; enumerate() below is the convenience wrapper.
+  template <typename F>
+  void for_each_match(const compartment& host, F&& f) const {
+    if (!child_pattern_.has_value()) {
+      const double p = match_propensity(host, nullptr);
+      if (p > 0.0) f(no_child, p);
+      return;
+    }
+    const std::size_t n = host.num_children();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = match_propensity(host, &host.child(i));
+      if (p > 0.0) f(i, p);
+    }
+  }
+
   /// Enumerate all matches of this rule inside `host` (host's type must
   /// already satisfy applies_in). Matches with zero propensity are omitted.
   std::vector<match> enumerate(const compartment& host) const;
@@ -100,7 +142,10 @@ class rule {
 
   /// Fire the rule in `host`, binding the child selected in `m`.
   /// Precondition: `m` was produced by enumerate() on the current state.
-  void apply(compartment& host, const match& m) const;
+  /// When `fx` is non-null it is reset and filled with the compartments this
+  /// firing touched (the engine's dirty set); a null `fx` discards removed
+  /// subtrees immediately, preserving the historical behaviour.
+  void apply(compartment& host, const match& m, apply_effects* fx = nullptr) const;
 
  private:
   double match_propensity(const compartment& host,

@@ -80,6 +80,17 @@ class compartment {
     for (const auto& c : children_) c->visit(f);
   }
 
+  /// Pre-order visit carrying the parent link: f(compartment&, parent*)
+  /// where parent is nullptr for the node the walk starts at. Used by the
+  /// engine's match cache, which needs upward invalidation (a rule firing
+  /// inside a compartment changes the propensities of the parent's
+  /// child-pattern rules that read it).
+  template <typename F>
+  void visit_with_parent(F&& f, compartment* parent = nullptr) {
+    f(*this, parent);
+    for (auto& c : children_) c->visit_with_parent(f, this);
+  }
+
  private:
   comp_type_id type_ = top_compartment;
   multiset wrap_;
