@@ -86,6 +86,41 @@ void bm_cwc_step_compartment_demo(benchmark::State& state) {
 }
 BENCHMARK(bm_cwc_step_compartment_demo);
 
+// Per-trajectory engine setup cost, the knob the compile-once layer turns:
+// a farm of 10⁴–10⁵ trajectories constructs that many engines. The legacy
+// path recompiles the static per-model tables (applicable-rule lists, the
+// rule→rule dependency index, footprints) for every engine; the compiled
+// path shares one immutable cwc::compiled_model across the whole batch.
+// Each iteration constructs 10⁴ engines, so items/sec reads as engines/sec.
+constexpr int kConstructBatch = 10000;
+
+void bm_engine_construct_legacy(benchmark::State& state) {
+  const auto m = models::make_neurospora_cwc({});
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kConstructBatch; ++i) {
+      cwc::engine eng(m, 1, ++id);
+      benchmark::DoNotOptimize(eng.time());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kConstructBatch);
+}
+BENCHMARK(bm_engine_construct_legacy)->Unit(benchmark::kMillisecond);
+
+void bm_engine_construct_compiled(benchmark::State& state) {
+  const auto m = models::make_neurospora_cwc({});
+  const auto cm = cwc::compiled_model::compile(m);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kConstructBatch; ++i) {
+      cwc::engine eng(cm, 1, ++id);
+      benchmark::DoNotOptimize(eng.time());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kConstructBatch);
+}
+BENCHMARK(bm_engine_construct_compiled)->Unit(benchmark::kMillisecond);
+
 void bm_quantum_run(benchmark::State& state) {
   const auto m = models::make_neurospora_cwc({});
   const double quantum = static_cast<double>(state.range(0)) / 10.0;

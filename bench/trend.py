@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Per-bench deltas between BENCH_engine.json revisions.
+
+Diffs the current benchmark JSON (the file run_benches.sh just wrote)
+against the copy tracked at a git revision — by default HEAD, i.e. the
+last committed numbers — and prints a per-bench report:
+
+    bench                              base ns     cur ns     delta
+    bm_cwc_step_neurospora              145.9      143.2      -1.9% faster
+    ...
+
+Usage:
+    bench/trend.py [--base REV] [--current PATH] [--threshold PCT]
+
+The report is informational (exit code 0 even on regressions): shared CI
+runners are too noisy to gate on, so the bench-smoke job records the
+trend as an artifact instead — the same philosophy as BENCH_engine.json
+itself. A missing baseline (new clone, shallow checkout, renamed file)
+degrades to a note, never an error.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def load_results(text):
+    """Map bench name -> {real_time_ns, items_per_sec} from the JSON doc."""
+    doc = json.loads(text)
+    return {
+        r["bench"]: {
+            "real_time_ns": r.get("real_time_ns"),
+            "items_per_sec": r.get("items_per_sec"),
+        }
+        for r in doc.get("results", [])
+    }
+
+
+def git_show(rev, path):
+    try:
+        return subprocess.run(
+            ["git", "show", f"{rev}:{path}"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return None
+
+
+def fmt_ns(ns):
+    return f"{ns:12.1f}" if ns is not None else " " * 12
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--base", default="HEAD",
+                    help="git revision holding the baseline JSON (default: HEAD)")
+    ap.add_argument("--current", default="BENCH_engine.json",
+                    help="freshly generated JSON file (default: BENCH_engine.json)")
+    ap.add_argument("--threshold", type=float, default=5.0,
+                    help="flag deltas beyond this percentage (default: 5)")
+    args = ap.parse_args()
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    current_path = pathlib.Path(args.current)
+    if not current_path.is_absolute():
+        current_path = repo / current_path
+    if not current_path.exists():
+        print(f"note: {current_path} not found — run bench/run_benches.sh first")
+        return 0
+    current = load_results(current_path.read_text())
+
+    rel = current_path.relative_to(repo) if current_path.is_relative_to(repo) \
+        else pathlib.Path("BENCH_engine.json")
+    base_text = git_show(args.base, rel.as_posix())
+    if base_text is None:
+        print(f"note: no baseline at {args.base}:{rel} — nothing to diff")
+        return 0
+    base = load_results(base_text)
+
+    names = sorted(set(base) | set(current))
+    width = max((len(n) for n in names), default=5)
+    print(f"benchmark trend vs {args.base} "
+          f"(real time per op; +slower / -faster, |Δ|>{args.threshold:g}% flagged)")
+    print(f"{'bench':<{width}}  {'base ns':>12}  {'cur ns':>12}  delta")
+    flagged = 0
+    for name in names:
+        b = base.get(name, {}).get("real_time_ns")
+        c = current.get(name, {}).get("real_time_ns")
+        if b is None:
+            print(f"{name:<{width}}  {fmt_ns(b)}  {fmt_ns(c)}  NEW")
+            continue
+        if c is None:
+            print(f"{name:<{width}}  {fmt_ns(b)}  {fmt_ns(c)}  REMOVED")
+            continue
+        delta = (c - b) / b * 100.0 if b else 0.0
+        mark = ""
+        if abs(delta) > args.threshold:
+            mark = "  ** slower **" if delta > 0 else "  (faster)"
+            flagged += 1
+        print(f"{name:<{width}}  {fmt_ns(b)}  {fmt_ns(c)}  {delta:+6.1f}%{mark}")
+    print(f"{flagged} bench(es) beyond ±{args.threshold:g}% "
+          f"({len(names)} compared). Informational only — not a gate.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,9 @@ struct run_report {
   struct network_stats {
     std::size_t messages = 0;  ///< messages received by the master
     double bytes = 0.0;        ///< serialized payload bytes shipped
+    /// Compiled-model frames shipped master -> hosts, once per run (0 when
+    /// the model fell back to in-process sharing).
+    double model_bytes = 0.0;
   };
   struct device_stats {
     double device_seconds = 0.0;     ///< modeled kernel time (virtual)

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <variant>
 #include <vector>
 
@@ -15,6 +16,13 @@ namespace cwcsim {
 /// Either stochastic engine, same quantum/sampling contract.
 class any_engine {
  public:
+  /// Farm path: construct from the shared compiled artifact (tree or flat
+  /// dispatch happens on the artifact's kind). No per-trajectory recompile.
+  any_engine(std::shared_ptr<const cwc::compiled_model> cm, std::uint64_t seed,
+             std::uint64_t id)
+      : impl_(make_impl(std::move(cm), seed, id)) {}
+
+  // Legacy recompile paths (compile a private artifact per engine).
   any_engine(const cwc::model& m, std::uint64_t seed, std::uint64_t id)
       : impl_(std::in_place_type<cwc::engine>, m, seed, id) {}
   any_engine(const cwc::reaction_network& n, std::uint64_t seed, std::uint64_t id)
@@ -35,18 +43,44 @@ class any_engine {
   }
 
  private:
+  static std::variant<cwc::engine, cwc::flat_engine> make_impl(
+      std::shared_ptr<const cwc::compiled_model> cm, std::uint64_t seed,
+      std::uint64_t id) {
+    if (cm != nullptr && cm->is_tree())
+      return std::variant<cwc::engine, cwc::flat_engine>(
+          std::in_place_type<cwc::engine>, std::move(cm), seed, id);
+    return std::variant<cwc::engine, cwc::flat_engine>(
+        std::in_place_type<cwc::flat_engine>, std::move(cm), seed, id);
+  }
+
   std::variant<cwc::engine, cwc::flat_engine> impl_;
 };
 
-/// Either model kind accepted by the pipeline.
+/// Either model kind accepted by the pipeline. Callers that spin up many
+/// engines (the session/backend drivers, the batch simulators, the DES
+/// workload capture) call compile() once up front so every engine shares
+/// one immutable cwc::compiled_model instead of rebuilding the static
+/// per-model tables per trajectory.
 struct model_ref {
   const cwc::model* tree = nullptr;
   const cwc::reaction_network* flat = nullptr;
+  /// The shared per-model artifact; null until compile() runs.
+  std::shared_ptr<const cwc::compiled_model> compiled;
+
+  /// Compile the model once (idempotent). Engines made afterwards share
+  /// the artifact.
+  void compile() {
+    if (compiled != nullptr) return;
+    compiled = tree != nullptr ? cwc::compiled_model::compile(*tree)
+                               : cwc::compiled_model::compile(*flat);
+  }
 
   std::size_t num_observables() const {
+    if (compiled != nullptr) return compiled->num_observables();
     return tree != nullptr ? tree->observables().size() : flat->num_species();
   }
   any_engine make_engine(std::uint64_t seed, std::uint64_t id) const {
+    if (compiled != nullptr) return any_engine(compiled, seed, id);
     if (tree != nullptr) return any_engine(*tree, seed, id);
     return any_engine(*flat, seed, id);
   }

@@ -163,9 +163,14 @@ session run_builder::open() const {
     throw config_error("model", "run_builder requires a model");
   validate(cfg_, backend_);
 
+  // Compile the model once, before the farm spins up: every engine the
+  // chosen backend constructs shares this one immutable artifact.
+  model_ref compiled = model_;
+  compiled.compile();
+
   auto p = std::make_unique<session::impl>();
   p->cfg = cfg_;
-  p->driver = detail::make_driver(model_, cfg_, backend_);
+  p->driver = detail::make_driver(compiled, cfg_, backend_);
   return session(std::move(p));
 }
 

@@ -77,11 +77,13 @@ class run_builder {
   run_builder& model(const cwc::model& m) {
     model_.tree = &m;
     model_.flat = nullptr;
+    model_.compiled.reset();
     return *this;
   }
   run_builder& model(const cwc::reaction_network& n) {
     model_.flat = &n;
     model_.tree = nullptr;
+    model_.compiled.reset();
     return *this;
   }
   run_builder& config(sim_config cfg) {

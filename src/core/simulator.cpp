@@ -108,6 +108,7 @@ multicore_simulator::multicore_simulator(const cwc::model& m, sim_config cfg)
     : cfg_(cfg) {
   model_.tree = &m;
   validate(cfg_);
+  model_.compile();  // one artifact shared by the whole farm
 }
 
 multicore_simulator::multicore_simulator(const cwc::reaction_network& n,
@@ -115,6 +116,7 @@ multicore_simulator::multicore_simulator(const cwc::reaction_network& n,
     : cfg_(cfg) {
   model_.flat = &n;
   validate(cfg_);
+  model_.compile();  // one artifact shared by the whole farm
 }
 
 simulation_result multicore_simulator::run() {

@@ -1,0 +1,248 @@
+#include "cwc/compiled_model.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cwc {
+
+namespace {
+
+// ---- species-footprint kernel ----------------------------------------
+// The one audited implementation of "does firing j change what k reads":
+// per-rule/per-reaction species sets are dense char bitmaps, dependency
+// means a written bit intersects a read bit (or the reader's rate law is
+// non-mass-action and conservatively reads everything). Both the tree
+// engine's redo lists and the flat next-reaction graph are derived from
+// these three primitives.
+
+void mark(std::vector<char>& bits, const multiset& ms) {
+  const std::size_t n = bits.size();
+  ms.for_each([&](species_id s, std::uint64_t) {
+    if (s < n) bits[s] = 1;
+  });
+}
+
+bool intersects(const std::vector<char>& a, const std::vector<char>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (a[i] != 0 && b[i] != 0) return true;
+  return false;
+}
+
+bool any_bit(const std::vector<char>& a) {
+  for (char c : a)
+    if (c != 0) return true;
+  return false;
+}
+
+}  // namespace
+
+std::shared_ptr<const compiled_model> compiled_model::finish(
+    std::shared_ptr<compiled_model> cm) {
+  if (cm->tree_ != nullptr) {
+    cm->build_tree_tables();
+  } else {
+    cm->build_flat_tables();
+  }
+  return cm;
+}
+
+std::shared_ptr<const compiled_model> compiled_model::compile(const model& m) {
+  auto cm = std::shared_ptr<compiled_model>(new compiled_model());
+  cm->tree_ = &m;
+  return finish(std::move(cm));
+}
+
+std::shared_ptr<const compiled_model> compiled_model::compile(model&& m) {
+  auto cm = std::shared_ptr<compiled_model>(new compiled_model());
+  cm->owned_tree_.emplace(std::move(m));
+  cm->tree_ = &*cm->owned_tree_;
+  return finish(std::move(cm));
+}
+
+std::shared_ptr<const compiled_model> compiled_model::compile(
+    const reaction_network& n) {
+  auto cm = std::shared_ptr<compiled_model>(new compiled_model());
+  cm->flat_ = &n;
+  return finish(std::move(cm));
+}
+
+std::shared_ptr<const compiled_model> compiled_model::compile(
+    reaction_network&& n) {
+  auto cm = std::shared_ptr<compiled_model>(new compiled_model());
+  cm->owned_flat_.emplace(std::move(n));
+  cm->flat_ = &*cm->owned_flat_;
+  return finish(std::move(cm));
+}
+
+std::size_t compiled_model::num_rules() const noexcept {
+  return tree_ != nullptr ? tree_->rules().size() : flat_->reactions().size();
+}
+
+std::size_t compiled_model::num_species() const noexcept {
+  return tree_ != nullptr ? tree_->species().size() : flat_->num_species();
+}
+
+std::size_t compiled_model::num_observables() const noexcept {
+  return tree_ != nullptr ? tree_->observables().size() : flat_->num_species();
+}
+
+void compiled_model::build_tree_tables() {
+  const auto& rules = tree_->rules();
+  const std::size_t num_rules = rules.size();
+  const std::size_t num_types = tree_->compartment_types().size();
+  const std::size_t num_species = tree_->species().size();
+
+  // Applicable-rule lists and rule -> slot maps, per compartment type.
+  rules_for_type_.assign(num_types, {});
+  slot_of_.assign(num_types, std::vector<std::int32_t>(num_rules, -1));
+  for (std::size_t t = 0; t < num_types; ++t) {
+    for (std::size_t j = 0; j < num_rules; ++j) {
+      if (!rules[j].applies_in(static_cast<comp_type_id>(t))) continue;
+      slot_of_[t][j] = static_cast<std::int32_t>(rules_for_type_[t].size());
+      rules_for_type_[t].push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+
+  // Per-rule species footprints. A species bitmap per channel:
+  //   w_local : host content the rule writes (reactants + products;
+  //             dissolve releases arbitrary child content -> writes all)
+  //   w_child : bound-child content the rule writes (consumed + produced)
+  //   r_local : host content a mass-action rule reads (reactants)
+  //   r_child : bound-child content a mass-action rule reads (content_req;
+  //             wraps are immutable after creation, so wrap_req never
+  //             invalidates)
+  // Non-mass-action laws (MM/Hill/custom) read driver counts the footprint
+  // cannot see, so they conservatively depend on every rule — the same
+  // fallback the flat next-reaction graph below uses.
+  std::vector<std::vector<char>> w_local(num_rules,
+                                         std::vector<char>(num_species, 0));
+  std::vector<std::vector<char>> w_child(num_rules,
+                                         std::vector<char>(num_species, 0));
+  std::vector<std::vector<char>> r_local(num_rules,
+                                         std::vector<char>(num_species, 0));
+  std::vector<std::vector<char>> r_child(num_rules,
+                                         std::vector<char>(num_species, 0));
+  std::vector<char> w_local_all(num_rules, 0);
+  std::vector<char> structural(num_rules, 0);
+  std::vector<char> conservative(num_rules, 0);
+  writes_host_.assign(num_rules, 0);
+  writes_child_.assign(num_rules, 0);
+
+  for (std::size_t j = 0; j < num_rules; ++j) {
+    const rule& r = rules[j];
+    mark(w_local[j], r.reactants());
+    mark(w_local[j], r.products());
+    mark(r_local[j], r.reactants());
+    if (r.child_pattern().has_value()) {
+      mark(w_child[j], r.child_pattern()->content_req);
+      mark(w_child[j], r.child_products());
+      mark(r_child[j], r.child_pattern()->content_req);
+    }
+    conservative[j] = r.law().is_mass_action() ? 0 : 1;
+    structural[j] =
+        (!r.new_compartments().empty() || r.fate() != child_fate::keep) ? 1 : 0;
+    if (r.fate() == child_fate::dissolve) w_local_all[j] = 1;
+    writes_host_[j] = (!r.reactants().is_empty() || !r.products().is_empty() ||
+                       r.fate() == child_fate::dissolve)
+                          ? 1
+                          : 0;
+    writes_child_[j] = (r.child_pattern().has_value() &&
+                        r.fate() == child_fate::keep &&
+                        (!r.child_pattern()->content_req.is_empty() ||
+                         !r.child_products().is_empty()))
+                           ? 1
+                           : 0;
+  }
+
+  // Dependency lists: after rule j fires, which rules must be re-enumerated
+  // in the host block, the bound child's block, and the host's parent block.
+  redo_host_.assign(num_rules, {});
+  redo_child_.assign(num_rules, {});
+  redo_parent_.assign(num_rules, {});
+  for (std::size_t j = 0; j < num_rules; ++j) {
+    for (std::size_t k = 0; k < num_rules; ++k) {
+      const bool k_child = rules[k].child_pattern().has_value();
+      const bool local_hit =
+          (w_local_all[j] != 0 && any_bit(r_local[k])) ||
+          intersects(r_local[k], w_local[j]);
+      const bool child_hit =
+          k_child && (structural[j] != 0 || intersects(r_child[k], w_child[j]));
+      if (conservative[k] != 0 || local_hit || child_hit)
+        redo_host_[j].push_back(static_cast<std::uint32_t>(k));
+      if (conservative[k] != 0 || intersects(r_local[k], w_child[j]))
+        redo_child_[j].push_back(static_cast<std::uint32_t>(k));
+      const bool parent_hit =
+          k_child && ((w_local_all[j] != 0 && any_bit(r_child[k])) ||
+                      intersects(r_child[k], w_local[j]));
+      if (conservative[k] != 0 || parent_hit)
+        redo_parent_[j].push_back(static_cast<std::uint32_t>(k));
+    }
+  }
+
+  // Observable evaluation plans: indices only, evaluated in one walk.
+  observables_.reserve(tree_->observables().size());
+  for (const observable& o : tree_->observables()) {
+    observable_plan p;
+    p.sp = o.sp;
+    p.scoped = o.scope.has_value();
+    p.scope = p.scoped ? *o.scope : 0;
+    observables_.push_back(p);
+  }
+}
+
+void compiled_model::build_flat_tables() {
+  const auto& reactions = flat_->reactions();
+  const std::size_t r = reactions.size();
+  const std::size_t num_species = flat_->num_species();
+
+  // Species a reaction writes (reactants + products) and reads
+  // (reactants); non-mass-action laws (MM/Hill/custom) read driver counts
+  // the stoichiometry cannot see, so they conservatively read everything.
+  std::vector<std::vector<char>> writes(r, std::vector<char>(num_species, 0));
+  std::vector<std::vector<char>> reads(r, std::vector<char>(num_species, 0));
+  std::vector<char> reads_everything(r, 0);
+  for (std::size_t j = 0; j < r; ++j) {
+    for (const stoich& s : reactions[j].reactants) {
+      if (s.sp < num_species) {
+        reads[j][s.sp] = 1;
+        writes[j][s.sp] = 1;
+      }
+    }
+    for (const stoich& s : reactions[j].products)
+      if (s.sp < num_species) writes[j][s.sp] = 1;
+    reads_everything[j] = reactions[j].law.is_mass_action() ? 0 : 1;
+  }
+
+  depends_.assign(r, {});
+  for (std::size_t j = 0; j < r; ++j) {
+    for (std::size_t k = 0; k < r; ++k) {
+      if (k == j) continue;  // the fired reaction redraws its own clock
+      if (reads_everything[k] != 0 || intersects(writes[j], reads[k]))
+        depends_[j].push_back(static_cast<std::uint32_t>(k));
+    }
+  }
+}
+
+void compiled_model::observe_all(const term& state,
+                                 std::vector<std::uint64_t>& scratch,
+                                 std::vector<double>& out) const {
+  util::expects(tree_ != nullptr, "observable plans need a tree model");
+  scratch.assign(observables_.size(), 0);
+  state.visit([&](const compartment& c) {
+    for (std::size_t i = 0; i < observables_.size(); ++i) {
+      const observable_plan& p = observables_[i];
+      if (!p.scoped) {
+        scratch[i] += c.content().count(p.sp) + c.wrap().count(p.sp);
+      } else if (c.type() == p.scope) {
+        scratch[i] += c.content().count(p.sp);
+      }
+    }
+  });
+  out.clear();
+  out.reserve(observables_.size());
+  for (const std::uint64_t v : scratch) out.push_back(static_cast<double>(v));
+}
+
+}  // namespace cwc

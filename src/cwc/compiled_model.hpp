@@ -1,0 +1,144 @@
+// Compile the model once: an immutable per-model artifact shared by every
+// engine instance and every backend.
+//
+// A simulation campaign farms out 10⁴–10⁵ trajectories of *one* model, yet
+// the static lookup structure an engine needs — which rules apply in which
+// compartment type, the rule→rule dependency index that drives incremental
+// propensity maintenance, the observable evaluation plans — is a pure
+// function of the model. compiled_model hoists all of it out of the
+// per-trajectory constructor: the session/backend layer compiles once
+// before the farm spins up, every engine constructs from the shared
+// artifact, the distributed runtime ships the model description once per
+// run over the wire (dist/model_codec.hpp) and recompiles on arrival, and
+// the DES/SIMT workload capture derives its description from the same
+// artifact.
+//
+// Sharing and ownership rules:
+//   - compiled_model is immutable after compile() returns; concurrent
+//     engines on any number of threads may read one artifact without
+//     synchronisation.
+//   - Artifacts are always std::shared_ptr<const compiled_model>-held;
+//     engines keep the pointer alive, so the artifact outlives every
+//     engine constructed from it.
+//   - The const-reference compile() overloads *view* the caller's model,
+//     which must outlive the artifact (the same lifetime contract the
+//     engines always had); the rvalue overloads take ownership (the
+//     wire-decode path).
+//
+// The dependency-index construction lives here — one audited
+// implementation — instead of being duplicated between the tree engine
+// (formerly gillespie.cpp) and the flat next-reaction engine (formerly
+// next_reaction.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cwc/model.hpp"
+#include "cwc/reaction_network.hpp"
+
+namespace cwc {
+
+class compiled_model {
+ public:
+  /// Compile a CWC term model the caller keeps alive.
+  static std::shared_ptr<const compiled_model> compile(const model& m);
+  /// Compile a CWC term model, taking ownership (wire-decoded models).
+  static std::shared_ptr<const compiled_model> compile(model&& m);
+  /// Compile a flat reaction network the caller keeps alive.
+  static std::shared_ptr<const compiled_model> compile(const reaction_network& n);
+  /// Compile a flat reaction network, taking ownership.
+  static std::shared_ptr<const compiled_model> compile(reaction_network&& n);
+
+  compiled_model(const compiled_model&) = delete;
+  compiled_model& operator=(const compiled_model&) = delete;
+
+  /// The compiled tree model, or nullptr for a flat artifact.
+  const model* tree() const noexcept { return tree_; }
+  /// The compiled flat network, or nullptr for a tree artifact.
+  const reaction_network* flat() const noexcept { return flat_; }
+  bool is_tree() const noexcept { return tree_ != nullptr; }
+
+  std::size_t num_rules() const noexcept;
+  std::size_t num_species() const noexcept;
+  /// Values per sample: tree observables, or every species of a flat net.
+  std::size_t num_observables() const noexcept;
+
+  // ---- tree tables (valid when is_tree()) ---------------------------
+  /// Rules applicable inside a compartment of type `t`, declaration order.
+  const std::vector<std::uint32_t>& rules_for_type(comp_type_id t) const {
+    return rules_for_type_[t];
+  }
+  /// [rule] -> slot index inside a type-`t` match block, or -1.
+  const std::vector<std::int32_t>& slot_of(comp_type_id t) const {
+    return slot_of_[t];
+  }
+  /// After rule `j` fires: rules to re-enumerate in the host block, the
+  /// bound child's block, and the host's parent block.
+  const std::vector<std::uint32_t>& redo_host(std::uint32_t j) const {
+    return redo_host_[j];
+  }
+  const std::vector<std::uint32_t>& redo_child(std::uint32_t j) const {
+    return redo_child_[j];
+  }
+  const std::vector<std::uint32_t>& redo_parent(std::uint32_t j) const {
+    return redo_parent_[j];
+  }
+  /// Rule `j` writes the host content / the kept bound child's content.
+  bool writes_host(std::uint32_t j) const { return writes_host_[j] != 0; }
+  bool writes_child(std::uint32_t j) const { return writes_child_[j] != 0; }
+
+  /// Evaluate every observable of a tree model in ONE pre-order walk
+  /// (`model::observe_all` walks once per observable). `scratch` is the
+  /// caller's reusable integer accumulator — counts are summed exactly in
+  /// std::uint64_t, so the result is bit-identical to the per-observable
+  /// walks regardless of traversal order. No allocation once `scratch`
+  /// and `out` have warmed-up capacity.
+  void observe_all(const term& state, std::vector<std::uint64_t>& scratch,
+                   std::vector<double>& out) const;
+
+  // ---- flat tables (valid when !is_tree()) --------------------------
+  /// Gibson–Bruck dependency list: reactions (excluding `j` itself) whose
+  /// propensity may change after reaction `j` fires, ascending index.
+  const std::vector<std::uint32_t>& depends(std::size_t j) const {
+    return depends_[j];
+  }
+
+ private:
+  compiled_model() = default;
+
+  void build_tree_tables();
+  void build_flat_tables();
+  static std::shared_ptr<const compiled_model> finish(
+      std::shared_ptr<compiled_model> cm);
+
+  /// One observable reduced to indices: no name or std::optional traffic
+  /// on the sampling path.
+  struct observable_plan {
+    species_id sp = 0;
+    comp_type_id scope = 0;
+    bool scoped = false;
+  };
+
+  const model* tree_ = nullptr;
+  const reaction_network* flat_ = nullptr;
+  std::optional<model> owned_tree_;             ///< wire-decode ownership
+  std::optional<reaction_network> owned_flat_;  ///< wire-decode ownership
+
+  // Tree tables (see accessor docs).
+  std::vector<std::vector<std::uint32_t>> rules_for_type_;
+  std::vector<std::vector<std::int32_t>> slot_of_;
+  std::vector<std::vector<std::uint32_t>> redo_host_;
+  std::vector<std::vector<std::uint32_t>> redo_child_;
+  std::vector<std::vector<std::uint32_t>> redo_parent_;
+  std::vector<std::uint8_t> writes_host_;
+  std::vector<std::uint8_t> writes_child_;
+  std::vector<observable_plan> observables_;
+
+  // Flat tables.
+  std::vector<std::vector<std::uint32_t>> depends_;
+};
+
+}  // namespace cwc

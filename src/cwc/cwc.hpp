@@ -2,6 +2,7 @@
 // terms, rules, stochastic (SSA) and deterministic (ODE) engines, parser.
 #pragma once
 
+#include "cwc/compiled_model.hpp"
 #include "cwc/flat_gillespie.hpp"
 #include "cwc/gillespie.hpp"
 #include "cwc/model.hpp"

@@ -4,12 +4,19 @@
 
 namespace cwc {
 
+flat_engine::flat_engine(std::shared_ptr<const compiled_model> cm,
+                         std::uint64_t seed, std::uint64_t trajectory_id)
+    : cm_(std::move(cm)),
+      net_(cm_ != nullptr ? cm_->flat() : nullptr),
+      rng_(seed, trajectory_id) {
+  util::expects(net_ != nullptr, "flat_engine needs a compiled flat network");
+  state_ = net_->make_initial_state();
+  props_.assign(net_->reactions().size(), 0.0);
+}
+
 flat_engine::flat_engine(const reaction_network& net, std::uint64_t seed,
                          std::uint64_t trajectory_id)
-    : net_(&net),
-      state_(net.make_initial_state()),
-      props_(net.reactions().size(), 0.0),
-      rng_(seed, trajectory_id) {}
+    : flat_engine(compiled_model::compile(net), seed, trajectory_id) {}
 
 double flat_engine::total_propensity() {
   double total = 0.0;

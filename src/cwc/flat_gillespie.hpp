@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "cwc/compiled_model.hpp"
 #include "cwc/gillespie.hpp"  // trajectory_sample
 #include "cwc/reaction_network.hpp"
 #include "cwc/sampling.hpp"
@@ -16,6 +18,12 @@ namespace cwc {
 
 class flat_engine {
  public:
+  /// Construct from a shared compiled artifact (the farm path); the engine
+  /// keeps the artifact alive.
+  flat_engine(std::shared_ptr<const compiled_model> cm, std::uint64_t seed,
+              std::uint64_t trajectory_id);
+
+  /// Legacy recompile path: compiles a private artifact for this engine.
   flat_engine(const reaction_network& net, std::uint64_t seed,
               std::uint64_t trajectory_id);
 
@@ -37,7 +45,8 @@ class flat_engine {
   double total_propensity();
   void fire(double target);
 
-  const reaction_network* net_;
+  std::shared_ptr<const compiled_model> cm_;  ///< shared immutable artifact
+  const reaction_network* net_;               ///< == cm_->flat()
   multiset state_;
   std::vector<double> props_;  // per-reaction propensity scratch
   double time_ = 0.0;

@@ -18,135 +18,28 @@ bool approx_equal(double a, double b, double rel_tol) {
 
 }  // namespace
 
-engine::engine(const model& m, std::uint64_t seed, std::uint64_t trajectory_id,
-               engine_mode mode)
-    : model_(&m),
-      state_(m.make_initial_state()),
+engine::engine(std::shared_ptr<const compiled_model> cm, std::uint64_t seed,
+               std::uint64_t trajectory_id, engine_mode mode)
+    : cm_(std::move(cm)),
+      model_(cm_ != nullptr ? cm_->tree() : nullptr),
       trajectory_id_(trajectory_id),
       rng_(seed, trajectory_id),
       mode_(mode) {
-  build_static_tables();
+  util::expects(model_ != nullptr, "cwc::engine needs a compiled tree model");
+  state_ = model_->make_initial_state();
   rebuild_order();  // builds and enumerates a block for every compartment
 }
 
-void engine::build_static_tables() {
-  const auto& rules = model_->rules();
-  const std::size_t num_rules = rules.size();
-  const std::size_t num_types = model_->compartment_types().size();
-  const std::size_t num_species = model_->species().size();
-
-  // Applicable-rule lists and rule -> slot maps, per compartment type.
-  rules_for_type_.assign(num_types, {});
-  slot_of_.assign(num_types,
-                  std::vector<std::int32_t>(num_rules, -1));
-  for (std::size_t t = 0; t < num_types; ++t) {
-    for (std::size_t j = 0; j < num_rules; ++j) {
-      if (!rules[j].applies_in(static_cast<comp_type_id>(t))) continue;
-      slot_of_[t][j] = static_cast<std::int32_t>(rules_for_type_[t].size());
-      rules_for_type_[t].push_back(static_cast<std::uint32_t>(j));
-    }
-  }
-
-  // Per-rule species footprints. A species bitmap per channel:
-  //   w_local : host content the rule writes (reactants + products;
-  //             dissolve releases arbitrary child content -> writes all)
-  //   w_child : bound-child content the rule writes (consumed + produced)
-  //   r_local : host content a mass-action rule reads (reactants)
-  //   r_child : bound-child content a mass-action rule reads (content_req;
-  //             wraps are immutable after creation, so wrap_req never
-  //             invalidates)
-  // Non-mass-action laws (MM/Hill/custom) read driver counts the footprint
-  // cannot see, so they conservatively depend on every rule — exactly the
-  // fallback next_reaction_engine::build_dependencies uses.
-  auto mark = [num_species](std::vector<char>& bits, const multiset& ms) {
-    ms.for_each([&](species_id s, std::uint64_t) {
-      if (s < num_species) bits[s] = 1;
-    });
-  };
-  auto intersects = [](const std::vector<char>& a, const std::vector<char>& b) {
-    const std::size_t n = std::min(a.size(), b.size());
-    for (std::size_t i = 0; i < n; ++i)
-      if (a[i] != 0 && b[i] != 0) return true;
-    return false;
-  };
-  auto any_bit = [](const std::vector<char>& a) {
-    for (char c : a)
-      if (c != 0) return true;
-    return false;
-  };
-
-  std::vector<std::vector<char>> w_local(num_rules,
-                                         std::vector<char>(num_species, 0));
-  std::vector<std::vector<char>> w_child(num_rules,
-                                         std::vector<char>(num_species, 0));
-  std::vector<std::vector<char>> r_local(num_rules,
-                                         std::vector<char>(num_species, 0));
-  std::vector<std::vector<char>> r_child(num_rules,
-                                         std::vector<char>(num_species, 0));
-  std::vector<char> w_local_all(num_rules, 0);
-  std::vector<char> structural(num_rules, 0);
-  std::vector<char> conservative(num_rules, 0);
-  writes_host_.assign(num_rules, 0);
-  writes_child_.assign(num_rules, 0);
-
-  for (std::size_t j = 0; j < num_rules; ++j) {
-    const rule& r = rules[j];
-    mark(w_local[j], r.reactants());
-    mark(w_local[j], r.products());
-    mark(r_local[j], r.reactants());
-    if (r.child_pattern().has_value()) {
-      mark(w_child[j], r.child_pattern()->content_req);
-      mark(w_child[j], r.child_products());
-      mark(r_child[j], r.child_pattern()->content_req);
-    }
-    conservative[j] = r.law().is_mass_action() ? 0 : 1;
-    structural[j] =
-        (!r.new_compartments().empty() || r.fate() != child_fate::keep) ? 1 : 0;
-    if (r.fate() == child_fate::dissolve) w_local_all[j] = 1;
-    writes_host_[j] = (!r.reactants().is_empty() || !r.products().is_empty() ||
-                       r.fate() == child_fate::dissolve)
-                          ? 1
-                          : 0;
-    writes_child_[j] = (r.child_pattern().has_value() &&
-                        r.fate() == child_fate::keep &&
-                        (!r.child_pattern()->content_req.is_empty() ||
-                         !r.child_products().is_empty()))
-                           ? 1
-                           : 0;
-  }
-
-  // Dependency lists: after rule j fires, which rules must be re-enumerated
-  // in the host block, the bound child's block, and the host's parent block.
-  redo_host_.assign(num_rules, {});
-  redo_child_.assign(num_rules, {});
-  redo_parent_.assign(num_rules, {});
-  for (std::size_t j = 0; j < num_rules; ++j) {
-    for (std::size_t k = 0; k < num_rules; ++k) {
-      const bool k_child = rules[k].child_pattern().has_value();
-      const bool local_hit =
-          (w_local_all[j] != 0 && any_bit(r_local[k])) ||
-          intersects(r_local[k], w_local[j]);
-      const bool child_hit =
-          k_child && (structural[j] != 0 || intersects(r_child[k], w_child[j]));
-      if (conservative[k] != 0 || local_hit || child_hit)
-        redo_host_[j].push_back(static_cast<std::uint32_t>(k));
-      if (conservative[k] != 0 || intersects(r_local[k], w_child[j]))
-        redo_child_[j].push_back(static_cast<std::uint32_t>(k));
-      const bool parent_hit =
-          k_child && ((w_local_all[j] != 0 && any_bit(r_child[k])) ||
-                      intersects(r_child[k], w_local[j]));
-      if (conservative[k] != 0 || parent_hit)
-        redo_parent_[j].push_back(static_cast<std::uint32_t>(k));
-    }
-  }
-}
+engine::engine(const model& m, std::uint64_t seed, std::uint64_t trajectory_id,
+               engine_mode mode)
+    : engine(compiled_model::compile(m), seed, trajectory_id, mode) {}
 
 engine::comp_block& engine::ensure_block(compartment& c) {
   auto it = cache_.find(&c);
   if (it != cache_.end()) return *it->second;
   auto blk = std::make_unique<comp_block>();
   blk->comp = &c;
-  const auto& applicable = rules_for_type_[c.type()];
+  const auto& applicable = cm_->rules_for_type(c.type());
   blk->slots.reserve(applicable.size());
   for (std::uint32_t j : applicable) blk->slots.push_back(rule_slot{j, {}});
   for (rule_slot& sl : blk->slots) enumerate_slot(*blk, sl);
@@ -202,7 +95,7 @@ void engine::refresh_all() {
 
 void engine::refresh_block(comp_block& b,
                            const std::vector<std::uint32_t>& rules) {
-  const auto& slots_by_rule = slot_of_[b.comp->type()];
+  const auto& slots_by_rule = cm_->slot_of(b.comp->type());
   bool any = false;
   for (std::uint32_t k : rules) {
     const std::int32_t si = slots_by_rule[k];
@@ -216,11 +109,11 @@ void engine::refresh_block(comp_block& b,
 void engine::refresh_after_fire(std::uint32_t fired, compartment* host) {
   if (fx_.structure_changed) rebuild_order();
   comp_block& hb = *cache_.at(host);
-  refresh_block(hb, redo_host_[fired]);
-  if (fx_.bound_child != nullptr && writes_child_[fired] != 0)
-    refresh_block(*cache_.at(fx_.bound_child), redo_child_[fired]);
-  if (writes_host_[fired] != 0 && hb.parent != nullptr)
-    refresh_block(*cache_.at(hb.parent), redo_parent_[fired]);
+  refresh_block(hb, cm_->redo_host(fired));
+  if (fx_.bound_child != nullptr && cm_->writes_child(fired))
+    refresh_block(*cache_.at(fx_.bound_child), cm_->redo_child(fired));
+  if (cm_->writes_host(fired) && hb.parent != nullptr)
+    refresh_block(*cache_.at(hb.parent), cm_->redo_parent(fired));
 }
 
 double engine::current_total() {
@@ -338,8 +231,9 @@ bool engine::step() {
 void engine::record_sample(double at, std::vector<trajectory_sample>& out) {
   trajectory_sample s;
   s.time = at;
-  // One right-sized allocation for the sample's own buffer; no temporaries.
-  model_->observe_all(*state_, s.values);
+  // One right-sized allocation for the sample's own buffer; the compiled
+  // observable plans evaluate every observable in a single tree walk.
+  cm_->observe_all(*state_, obs_scratch_, s.values);
   out.push_back(std::move(s));
 }
 
@@ -406,7 +300,7 @@ bool engine::check_match_cache(double rel_tol) const {
       return;
     }
     const comp_block& b = *order_[idx++];
-    const auto& applicable = rules_for_type_[c.type()];
+    const auto& applicable = cm_->rules_for_type(c.type());
     if (b.slots.size() != applicable.size()) {
       ok = false;
       return;

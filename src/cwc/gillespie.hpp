@@ -5,9 +5,11 @@
 // host, bound child, host's parent, created/dissolved/removed nodes — are
 // re-enumerated, driven by a rule→rule dependency index built from the
 // rules' reactant/product/child-pattern footprints (non-mass-action rate
-// laws conservatively depend on everything, mirroring
-// next_reaction_engine::build_dependencies). The steady-state step is
-// allocation-free: match lists and the sample values buffer are reused.
+// laws conservatively depend on everything). The dependency index and the
+// rest of the static per-model tables live in cwc::compiled_model
+// (compiled_model.hpp) — compiled once, shared by every trajectory's
+// engine. The steady-state step is allocation-free: match lists and the
+// sample values buffer are reused.
 //
 // Reproducibility: every engine owns an rng_stream keyed by
 // (seed, trajectory id), so a trajectory's sample path is a pure function
@@ -26,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cwc/compiled_model.hpp"
 #include "cwc/model.hpp"
 #include "cwc/sampling.hpp"
 #include "util/rng.hpp"
@@ -51,6 +54,15 @@ enum class engine_mode {
 
 class engine {
  public:
+  /// Construct from a shared compiled artifact (the farm path): no static
+  /// tables are rebuilt — construction is just the initial-state clone plus
+  /// the match-cache warm-up. The engine keeps the artifact alive.
+  engine(std::shared_ptr<const compiled_model> cm, std::uint64_t seed,
+         std::uint64_t trajectory_id,
+         engine_mode mode = engine_mode::incremental);
+
+  /// Legacy recompile path: compiles a private artifact for this one
+  /// engine. Prefer sharing one compiled_model across the farm.
   engine(const model& m, std::uint64_t seed, std::uint64_t trajectory_id,
          engine_mode mode = engine_mode::incremental);
 
@@ -112,7 +124,6 @@ class engine {
   };
 
   // ---- cache maintenance -------------------------------------------
-  void build_static_tables();
   comp_block& ensure_block(compartment& c);
   void enumerate_slot(comp_block& b, rule_slot& sl);
   void resum_block(comp_block& b);
@@ -133,7 +144,8 @@ class engine {
 
   void record_sample(double at, std::vector<trajectory_sample>& out);
 
-  const model* model_;
+  std::shared_ptr<const compiled_model> cm_;  ///< shared immutable artifact
+  const model* model_;                        ///< == cm_->tree()
   std::unique_ptr<term> state_;
   double time_ = 0.0;
   std::uint64_t next_sample_k_ = 0;  ///< next sampling-grid index (see sampling.hpp)
@@ -149,16 +161,12 @@ class engine {
   std::unordered_map<const compartment*, std::unique_ptr<comp_block>> cache_;
   std::vector<comp_block*> order_;
 
-  // Static per-model tables (built once per engine):
-  std::vector<std::vector<std::uint32_t>> rules_for_type_;  ///< [type] -> rule idxs
-  std::vector<std::vector<std::int32_t>> slot_of_;  ///< [type][rule] -> slot or -1
-  std::vector<std::vector<std::uint32_t>> redo_host_;    ///< rules to redo in host
-  std::vector<std::vector<std::uint32_t>> redo_child_;   ///< ... in bound child
-  std::vector<std::vector<std::uint32_t>> redo_parent_;  ///< ... in host's parent
-  std::vector<std::uint8_t> writes_host_;   ///< rule writes host content
-  std::vector<std::uint8_t> writes_child_;  ///< rule writes kept child content
+  // The static per-model tables (rules_for_type, slot_of, the redo lists,
+  // write flags, observable plans) live in *cm_ — compiled once per model,
+  // shared by every trajectory.
 
   apply_effects fx_;  ///< reused across steps (no per-step allocation)
+  std::vector<std::uint64_t> obs_scratch_;  ///< observable accumulators
   /// Absolute time of a reaction drawn but deferred past a quantum horizon.
   std::optional<double> pending_t_next_;
 };

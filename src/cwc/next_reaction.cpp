@@ -1,59 +1,34 @@
 #include "cwc/next_reaction.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "util/check.hpp"
 
 namespace cwc {
 
-next_reaction_engine::next_reaction_engine(const reaction_network& net,
-                                           std::uint64_t seed,
-                                           std::uint64_t trajectory_id)
-    : net_(&net), state_(net.make_initial_state()), rng_(seed, trajectory_id) {
-  const std::size_t r = net.reactions().size();
+next_reaction_engine::next_reaction_engine(
+    std::shared_ptr<const compiled_model> cm, std::uint64_t seed,
+    std::uint64_t trajectory_id)
+    : cm_(std::move(cm)),
+      net_(cm_ != nullptr ? cm_->flat() : nullptr),
+      rng_(seed, trajectory_id) {
+  util::expects(net_ != nullptr,
+                "next_reaction_engine needs a compiled flat network");
+  state_ = net_->make_initial_state();
+  const std::size_t r = net_->reactions().size();
   propensity_.resize(r, 0.0);
   fire_at_.resize(r, kNever);
   heap_.resize(r);
   pos_.resize(r);
-  build_dependencies();
+  // The reaction dependency graph is precomputed by the compiler
+  // (compiled_model::build_flat_tables) and shared across trajectories.
   init_clocks();
 }
 
-void next_reaction_engine::build_dependencies() {
-  const auto& reactions = net_->reactions();
-  const std::size_t r = reactions.size();
-
-  // Species a reaction writes (net change != 0), and species a reaction
-  // reads (reactants; MM/Hill driver species are conservatively treated as
-  // "all species" by falling back to full dependency for non-mass-action).
-  std::vector<std::set<species_id>> writes(r), reads(r);
-  std::vector<bool> reads_everything(r, false);
-  for (std::size_t j = 0; j < r; ++j) {
-    for (const stoich& s : reactions[j].reactants) {
-      reads[j].insert(s.sp);
-      writes[j].insert(s.sp);
-    }
-    for (const stoich& s : reactions[j].products) writes[j].insert(s.sp);
-    if (!reactions[j].law.is_mass_action()) reads_everything[j] = true;
-  }
-
-  depends_.assign(r, {});
-  for (std::size_t j = 0; j < r; ++j) {
-    for (std::size_t k = 0; k < r; ++k) {
-      if (k == j) continue;
-      bool affected = reads_everything[k];
-      if (!affected) {
-        for (const species_id sp : writes[j]) {
-          if (reads[k].count(sp) != 0) {
-            affected = true;
-            break;
-          }
-        }
-      }
-      if (affected) depends_[j].push_back(static_cast<std::uint32_t>(k));
-    }
-  }
+next_reaction_engine::next_reaction_engine(const reaction_network& net,
+                                           std::uint64_t seed,
+                                           std::uint64_t trajectory_id)
+    : next_reaction_engine(compiled_model::compile(net), seed, trajectory_id) {
 }
 
 void next_reaction_engine::init_clocks() {
@@ -125,7 +100,7 @@ void next_reaction_engine::update_after_fire(std::size_t fired) {
 
   // Dependent reactions: rescale the remaining waiting time (Gibson-Bruck
   // clock reuse — exact, no extra randomness needed).
-  for (const std::uint32_t k : depends_[fired]) {
+  for (const std::uint32_t k : cm_->depends(fired)) {
     const double a_old = propensity_[k];
     const double a_new = net_->propensity(k, state_);
     propensity_[k] = a_new;

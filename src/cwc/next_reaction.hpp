@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
+#include "cwc/compiled_model.hpp"
 #include "cwc/gillespie.hpp"  // trajectory_sample
 #include "cwc/reaction_network.hpp"
 #include "cwc/sampling.hpp"
@@ -19,6 +21,13 @@ namespace cwc {
 
 class next_reaction_engine {
  public:
+  /// Construct from a shared compiled artifact (the farm path): the
+  /// reaction dependency graph comes precomputed from the compiler
+  /// (compiled_model::depends) instead of being rebuilt per trajectory.
+  next_reaction_engine(std::shared_ptr<const compiled_model> cm,
+                       std::uint64_t seed, std::uint64_t trajectory_id);
+
+  /// Legacy recompile path: compiles a private artifact for this engine.
   next_reaction_engine(const reaction_network& net, std::uint64_t seed,
                        std::uint64_t trajectory_id);
 
@@ -38,7 +47,6 @@ class next_reaction_engine {
  private:
   static constexpr double kNever = std::numeric_limits<double>::infinity();
 
-  void build_dependencies();
   void init_clocks();
   void update_after_fire(std::size_t fired);
 
@@ -48,7 +56,8 @@ class next_reaction_engine {
   void sift_down(std::size_t pos);
   void heap_update(std::size_t reaction, double new_time);
 
-  const reaction_network* net_;
+  std::shared_ptr<const compiled_model> cm_;  ///< shared immutable artifact
+  const reaction_network* net_;               ///< == cm_->flat()
   multiset state_;
   double time_ = 0.0;
   std::uint64_t next_sample_k_ = 0;  ///< next sampling-grid index (see sampling.hpp)
@@ -56,10 +65,9 @@ class next_reaction_engine {
   util::rng_stream rng_;
 
   std::vector<double> propensity_;
-  std::vector<double> fire_at_;              // absolute times (kNever = disabled)
-  std::vector<std::vector<std::uint32_t>> depends_;  // j -> reactions to update
-  std::vector<std::uint32_t> heap_;          // reaction indices
-  std::vector<std::uint32_t> pos_;           // reaction -> heap position
+  std::vector<double> fire_at_;      // absolute times (kNever = disabled)
+  std::vector<std::uint32_t> heap_;  // reaction indices
+  std::vector<std::uint32_t> pos_;   // reaction -> heap position
 };
 
 }  // namespace cwc

@@ -29,6 +29,17 @@ class rate_law {
  public:
   using custom_fn = std::function<double(const rate_ctx&)>;
 
+  /// Law family, exposed for introspection (the wire codec re-creates laws
+  /// through the factories above from kind + parameters; `custom` carries
+  /// an opaque callable and is therefore not serialisable).
+  enum class kind : std::uint8_t {
+    mass_action,
+    michaelis_menten,
+    hill_repression,
+    hill_activation,
+    custom,
+  };
+
   /// Elementary mass-action kinetics with stochastic rate constant `k`.
   static rate_law mass_action(double k);
 
@@ -65,9 +76,15 @@ class rate_law {
   /// The mass-action constant; only meaningful when is_mass_action().
   double constant() const noexcept { return a_; }
 
- private:
-  enum class kind { mass_action, michaelis_menten, hill_repression, hill_activation, custom };
+  // ---- introspection (wire codec / diagnostics) ---------------------
+  kind law_kind() const noexcept { return kind_; }
+  double param_a() const noexcept { return a_; }  ///< k | Vmax | v
+  double param_b() const noexcept { return b_; }  ///< -  | Km   | K
+  double param_c() const noexcept { return c_; }  ///< -  | -    | Hill n
+  species_id driver() const noexcept { return driver_; }
+  bool driver_in_child() const noexcept { return driver_in_child_; }
 
+ private:
   rate_law(kind k, double a, double b, double c, species_id driver,
            bool driver_in_child, custom_fn fn)
       : kind_(k), a_(a), b_(b), c_(c), driver_(driver),

@@ -58,10 +58,15 @@ workload workload::rebin(std::uint64_t factor) const {
 
 workload capture_workload(const cwcsim::model_ref& model,
                           const cwcsim::sim_config& cfg) {
+  // Compile once for the whole capture: the workload description is
+  // derived from the same shared artifact the real backends execute.
+  cwcsim::model_ref mr = model;
+  mr.compile();
+
   workload w;
   w.num_trajectories = cfg.num_trajectories;
   w.num_samples = cfg.num_samples();
-  w.observables = model.num_observables();
+  w.observables = mr.num_observables();
   w.t_end = cfg.t_end;
   w.sample_period = cfg.sample_period;
   w.quantum = cfg.quantum;
@@ -69,7 +74,7 @@ workload capture_workload(const cwcsim::model_ref& model,
 
   std::vector<cwc::trajectory_sample> scratch;
   for (std::uint64_t i = 0; i < cfg.num_trajectories; ++i) {
-    auto eng = model.make_engine(cfg.seed, i);
+    auto eng = mr.make_engine(cfg.seed, i);
     auto& qs = w.quanta[i];
     while (eng.time() < cfg.t_end) {
       const std::uint64_t steps_before = eng.steps();
@@ -91,6 +96,8 @@ workload capture_workload(const cwcsim::model_ref& model,
 calibration calibrate(const cwcsim::model_ref& model,
                       const cwcsim::sim_config& cfg) {
   calibration c;
+  cwcsim::model_ref mr = model;
+  mr.compile();
 
   // --- simulation cost: run a few trajectories to t_end (capped) ---------
   {
@@ -99,7 +106,7 @@ calibration calibrate(const cwcsim::model_ref& model,
     std::uint64_t steps = 0;
     util::stopwatch sw;
     for (std::uint64_t i = 0; i < 3; ++i) {
-      auto eng = model.make_engine(cfg.seed ^ 0xCA11B8A7E, i);
+      auto eng = mr.make_engine(cfg.seed ^ 0xCA11B8A7E, i);
       eng.run_to(horizon, cfg.sample_period, scratch);
       steps += eng.steps();
       scratch.clear();

@@ -19,6 +19,31 @@ namespace dist {
 
 using byte_buffer = std::vector<std::byte>;
 
+/// Version byte of the framed-archive schema. Bump whenever a frame layout
+/// changes incompatibly (e.g. the compiled-model frame of
+/// dist/model_codec.hpp), so a host running older code rejects a newer
+/// frame with a typed error instead of decoding garbage.
+inline constexpr std::uint8_t archive_schema_version = 1;
+
+/// Thrown by check_schema_header() when a frame was produced under a
+/// different schema version than this build understands.
+class schema_mismatch_error : public std::runtime_error {
+ public:
+  schema_mismatch_error(std::uint8_t expected, std::uint8_t found)
+      : std::runtime_error("archive schema mismatch: expected version " +
+                           std::to_string(expected) + ", found version " +
+                           std::to_string(found)),
+        expected_(expected),
+        found_(found) {}
+
+  std::uint8_t expected() const noexcept { return expected_; }
+  std::uint8_t found() const noexcept { return found_; }
+
+ private:
+  std::uint8_t expected_;
+  std::uint8_t found_;
+};
+
 /// Append-only binary encoder.
 class archive_writer {
  public:
@@ -122,5 +147,19 @@ class archive_reader {
   const byte_buffer& buf_;
   std::size_t pos_ = 0;
 };
+
+/// Begin a versioned frame: the schema version byte is the frame header.
+inline void put_schema_header(archive_writer& w) {
+  w.put<std::uint8_t>(archive_schema_version);
+}
+
+/// Validate a versioned frame's header; throws schema_mismatch_error on a
+/// version this build does not understand (std::runtime_error on a
+/// truncated buffer, as for any other read).
+inline void check_schema_header(archive_reader& r) {
+  const auto v = r.get<std::uint8_t>();
+  if (v != archive_schema_version)
+    throw schema_mismatch_error(archive_schema_version, v);
+}
 
 }  // namespace dist

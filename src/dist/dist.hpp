@@ -7,6 +7,7 @@
 #include "dist/archive.hpp"
 #include "dist/dist_backend.hpp"
 #include "dist/distributed_simulator.hpp"
+#include "dist/model_codec.hpp"
 #include "dist/net_channel.hpp"
 #include "dist/net_params.hpp"
 #include "dist/wire.hpp"

@@ -1,11 +1,13 @@
 #include "dist/distributed_simulator.hpp"
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/online_analysis.hpp"
 #include "core/quantum.hpp"
+#include "dist/model_codec.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -16,11 +18,14 @@ namespace {
 /// One simulated host: `workers_per_host` engine threads advancing the
 /// host's partition of trajectories quantum by quantum — the same
 /// advance_one_quantum contract as cwcsim::sim_engine_node — and streaming
-/// the serialized results to the master over `out`. Messages are framed as
-/// a wire_tag byte followed by the payload, written in one pass. The
-/// sink's stop flag is honoured at quantum boundaries (cooperative
+/// the serialized results to the master over `out`. Every engine on the
+/// host is built from the host's shared compiled_model (decoded from the
+/// wire, or the master's artifact for non-encodable models). Messages are
+/// framed as a wire_tag byte followed by the payload, written in one pass.
+/// The sink's stop flag is honoured at quantum boundaries (cooperative
 /// cancellation of the whole cluster).
-void run_host(const cwcsim::model_ref& model, const cwcsim::sim_config& cfg,
+void run_host(const std::shared_ptr<const cwc::compiled_model>& cm,
+              const cwcsim::sim_config& cfg,
               const std::vector<std::uint64_t>& ids, unsigned workers,
               const cwcsim::event_sink& sink, net_channel& out) {
   std::atomic<std::size_t> next{0};
@@ -31,7 +36,7 @@ void run_host(const cwcsim::model_ref& model, const cwcsim::sim_config& cfg,
       for (std::size_t i = next.fetch_add(1);
            i < ids.size() && !sink.stop_requested(); i = next.fetch_add(1)) {
         const std::uint64_t id = ids[i];
-        auto engine = model.make_engine(cfg.seed, id);
+        cwcsim::any_engine engine(cm, cfg.seed, id);
         std::uint64_t quantum_index = 0;
         while (!sink.stop_requested()) {
           auto q = cwcsim::advance_one_quantum(engine, cfg, id, quantum_index);
@@ -67,20 +72,23 @@ void run_host(const cwcsim::model_ref& model, const cwcsim::sim_config& cfg,
 
 distributed_simulator::distributed_simulator(const cwc::model& m,
                                              dist_config cfg)
-    : distributed_simulator(cwcsim::model_ref{&m, nullptr}, std::move(cfg)) {}
+    : distributed_simulator(cwcsim::model_ref{&m, nullptr, nullptr},
+                            std::move(cfg)) {}
 
 distributed_simulator::distributed_simulator(const cwc::reaction_network& n,
                                              dist_config cfg)
-    : distributed_simulator(cwcsim::model_ref{nullptr, &n}, std::move(cfg)) {}
+    : distributed_simulator(cwcsim::model_ref{nullptr, &n, nullptr},
+                            std::move(cfg)) {}
 
 distributed_simulator::distributed_simulator(cwcsim::model_ref model,
                                              dist_config cfg)
-    : model_(model), cfg_(std::move(cfg)) {
+    : model_(std::move(model)), cfg_(std::move(cfg)) {
   util::expects(model_.tree != nullptr || model_.flat != nullptr,
                 "distributed_simulator requires a model");
   cwcsim::validate(cfg_.base, cwcsim::distributed{cfg_.num_hosts,
                                                   cfg_.workers_per_host,
                                                   cfg_.network});
+  model_.compile();  // the master's artifact (and the wire fallback)
 }
 
 dist_result distributed_simulator::run() {
@@ -93,6 +101,7 @@ dist_result distributed_simulator::run() {
   out.result.windows = sink.take_windows();
   out.messages = report.network->messages;
   out.bytes = report.network->bytes;
+  out.model_bytes = report.network->model_bytes;
   return out;
 }
 
@@ -114,6 +123,28 @@ void distributed_simulator::run(cwcsim::event_sink& sink,
     }
   }
 
+  // ---- ship the model once per run --------------------------------------
+  // The master encodes the model description into ONE versioned frame and
+  // sends it to each host over the modeled network; hosts decode and
+  // compile their own shared artifact. Models with custom rate laws cannot
+  // cross the wire and fall back to the master's in-process artifact.
+  const std::shared_ptr<const cwc::compiled_model> master_cm = model_.compiled;
+  util::ensures(master_cm != nullptr, "distributed run without an artifact");
+  const bool ship = wire_encodable(model_);
+  byte_buffer model_frame;
+  std::vector<std::unique_ptr<net_channel>> model_links;
+  if (ship) {
+    model_frame = encode_model(model_);
+    model_links.reserve(cfg_.num_hosts);
+    for (unsigned h = 0; h < cfg_.num_hosts; ++h) {
+      auto link = std::make_unique<net_channel>(cfg_.network);
+      link->add_writer();
+      link->send(model_frame);  // one frame per host, latency modeled
+      link->close_writer();
+      model_links.push_back(std::move(link));
+    }
+  }
+
   // ---- launch the virtual cluster ---------------------------------------
   // All hosts stream into the master's ingress link (an MPSC channel, one
   // writer per engine thread), so the master consumes messages in arrival
@@ -126,8 +157,17 @@ void distributed_simulator::run(cwcsim::event_sink& sink,
   std::vector<std::thread> hosts;
   hosts.reserve(cfg_.num_hosts);
   for (unsigned h = 0; h < cfg_.num_hosts; ++h) {
-    hosts.emplace_back([this, &base, &partition, &sink, &ingress, h] {
-      run_host(model_, base, partition[h], cfg_.workers_per_host, sink,
+    hosts.emplace_back([this, &base, &partition, &sink, &ingress, &master_cm,
+                        &model_links, ship, h] {
+      std::shared_ptr<const cwc::compiled_model> host_cm = master_cm;
+      if (ship) {
+        // Receive and recompile the model on this host: engines below run
+        // on the decoded copy, proving the frame round-trips bit-exactly.
+        const auto frame = model_links[h]->recv();
+        util::ensures(frame.has_value(), "model frame lost in transit");
+        host_cm = decode_model(*frame);
+      }
+      run_host(host_cm, base, partition[h], cfg_.workers_per_host, sink,
                ingress);
     });
   }
@@ -185,6 +225,8 @@ void distributed_simulator::run(cwcsim::event_sink& sink,
   report.network.emplace();
   report.network->messages = static_cast<std::size_t>(ingress.messages_sent());
   report.network->bytes = static_cast<double>(ingress.bytes_sent());
+  report.network->model_bytes =
+      ship ? static_cast<double>(model_frame.size()) * cfg_.num_hosts : 0.0;
   report.result.wall_seconds = sw.elapsed_s();
 }
 

@@ -9,6 +9,13 @@
 // run reproduces the shared-memory simulator's windowed statistics
 // bit-exactly, regardless of how trajectories are partitioned or how
 // messages interleave on the network.
+//
+// The model itself crosses the wire ONCE per run: the master encodes the
+// model description into a versioned frame (dist/model_codec.hpp) and
+// ships it to every host over the modeled network; each host decodes and
+// compiles its own cwc::compiled_model, then builds every engine from that
+// shared artifact. Models that cannot be encoded (custom rate laws) fall
+// back to sharing the master's in-process artifact.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +41,10 @@ struct dist_result {
   cwcsim::simulation_result result;
   std::size_t messages = 0;  ///< messages received by the master
   double bytes = 0.0;        ///< serialized payload bytes shipped
+  /// Compiled-model frames shipped master -> hosts, once per run (0 when
+  /// the model is not wire-encodable and hosts fell back to in-process
+  /// sharing).
+  double model_bytes = 0.0;
 };
 
 class distributed_simulator {

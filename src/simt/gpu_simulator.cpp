@@ -11,11 +11,13 @@ namespace simt {
 
 gpu_simulator::gpu_simulator(const cwc::model& m, cwcsim::sim_config cfg,
                              device_spec dev)
-    : gpu_simulator(cwcsim::model_ref{&m, nullptr}, cfg, std::move(dev)) {}
+    : gpu_simulator(cwcsim::model_ref{&m, nullptr, nullptr}, cfg,
+                    std::move(dev)) {}
 
 gpu_simulator::gpu_simulator(const cwc::reaction_network& n,
                              cwcsim::sim_config cfg, device_spec dev)
-    : gpu_simulator(cwcsim::model_ref{nullptr, &n}, cfg, std::move(dev)) {}
+    : gpu_simulator(cwcsim::model_ref{nullptr, &n, nullptr}, cfg,
+                    std::move(dev)) {}
 
 gpu_simulator::gpu_simulator(cwcsim::model_ref model, cwcsim::sim_config cfg,
                              device_spec dev)
@@ -23,6 +25,10 @@ gpu_simulator::gpu_simulator(cwcsim::model_ref model, cwcsim::sim_config cfg,
   util::expects(model_.tree != nullptr || model_.flat != nullptr,
                 "gpu_simulator requires a model");
   cwcsim::validate(cfg_);
+  // Compile once: the calibration engines below and every kernel lane later
+  // derive from the same shared artifact (the gpu_model workload
+  // description is captured with engines built from it, too).
+  model_.compile();
   const des::calibration cal = des::calibrate(model_, cfg_);
   ns_per_step_ = cal.sim_ns_per_step;
 }

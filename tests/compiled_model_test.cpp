@@ -1,0 +1,263 @@
+// Golden tests for the compile-once layer (cwc/compiled_model.hpp): every
+// engine built from a shared compiled artifact must produce bit-for-bit
+// the sample path of the legacy per-engine recompile path, across all
+// three engine kinds (tree direct-method, flat direct-method, flat
+// next-reaction) and all three backends (multicore/distributed/gpu,
+// extending the session_test lockstep pattern). Also proves, with a
+// counting global allocator, that per-trajectory engine construction no
+// longer allocates the static dependency tables, and pins the compiler's
+// flat dependency index against an independently-written reference.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/cwcsim.hpp"
+#include "counting_allocator.hpp"
+#include "cwc/cwc.hpp"
+#include "models/models.hpp"
+#include "simt/simt.hpp"
+
+namespace {
+
+void expect_same_samples(const std::vector<cwc::trajectory_sample>& a,
+                         const std::vector<cwc::trajectory_sample>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time) << "sample " << i;
+    EXPECT_EQ(a[i].values, b[i].values) << "sample " << i;
+  }
+}
+
+// Tree engine: one shared artifact, many trajectories, both cache modes —
+// bit-identical to engines that recompiled privately (the legacy path).
+TEST(CompiledModel, TreeEngineBitExactVsLegacyRecompile) {
+  for (const bool demo : {false, true}) {
+    const cwc::model m = demo ? models::make_compartment_demo({})
+                              : models::make_neurospora_cwc({});
+    const auto cm = cwc::compiled_model::compile(m);
+    ASSERT_TRUE(cm->is_tree());
+
+    for (const auto mode :
+         {cwc::engine_mode::incremental, cwc::engine_mode::reference}) {
+      for (std::uint64_t id = 0; id < 3; ++id) {
+        cwc::engine legacy(m, 29, id, mode);           // private recompile
+        cwc::engine shared_eng(cm, 29, id, mode);      // shared artifact
+        std::vector<cwc::trajectory_sample> ls, ss;
+        // Drive the shared engine in small quanta against one legacy sweep
+        // so the quantum-deferral path is exercised too.
+        legacy.run_to(15.0, 0.5, ls);
+        for (double t = 0.0; t < 15.0;) {
+          t = std::min(t + 0.8, 15.0);
+          shared_eng.run_to(t, 0.5, ss);
+        }
+        expect_same_samples(ss, ls);
+        EXPECT_EQ(shared_eng.steps(), legacy.steps());
+        EXPECT_TRUE(shared_eng.state().equals(legacy.state()));
+        EXPECT_TRUE(shared_eng.check_match_cache());
+      }
+    }
+  }
+}
+
+// Flat direct-method and next-reaction engines from one shared artifact.
+TEST(CompiledModel, FlatEnginesBitExactVsLegacyRecompile) {
+  const auto net = models::make_neurospora_flat({});
+  const auto cm = cwc::compiled_model::compile(net);
+  ASSERT_FALSE(cm->is_tree());
+
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    cwc::flat_engine legacy(net, 31, id);
+    cwc::flat_engine shared_eng(cm, 31, id);
+    std::vector<cwc::trajectory_sample> ls, ss;
+    legacy.run_to(20.0, 0.5, ls);
+    shared_eng.run_to(20.0, 0.5, ss);
+    expect_same_samples(ss, ls);
+    EXPECT_EQ(shared_eng.steps(), legacy.steps());
+
+    cwc::next_reaction_engine nrm_legacy(net, 31, id);
+    cwc::next_reaction_engine nrm_shared(cm, 31, id);
+    std::vector<cwc::trajectory_sample> nl, ns;
+    nrm_legacy.run_to(20.0, 0.5, nl);
+    nrm_shared.run_to(20.0, 0.5, ns);
+    expect_same_samples(ns, nl);
+    EXPECT_EQ(nrm_shared.steps(), nrm_legacy.steps());
+  }
+}
+
+// Interleaved stepping of many engines on ONE artifact must not cross-talk:
+// each trajectory stays the pure function of (model, seed, id) it was.
+TEST(CompiledModel, SharedArtifactHasNoCrossTalk) {
+  const auto m = models::make_compartment_demo({});
+  const auto cm = cwc::compiled_model::compile(m);
+
+  constexpr std::uint64_t kEngines = 6;
+  std::vector<cwc::engine> farm;
+  farm.reserve(kEngines);
+  for (std::uint64_t id = 0; id < kEngines; ++id) farm.emplace_back(cm, 7, id);
+
+  // Round-robin the farm, then compare every trajectory with a fresh
+  // solo engine run to the same horizon.
+  std::vector<std::vector<cwc::trajectory_sample>> got(kEngines);
+  for (int round = 1; round <= 10; ++round) {
+    for (std::uint64_t id = 0; id < kEngines; ++id)
+      farm[id].run_to(round * 1.5, 0.5, got[id]);
+  }
+  for (std::uint64_t id = 0; id < kEngines; ++id) {
+    cwc::engine solo(cm, 7, id);
+    std::vector<cwc::trajectory_sample> want;
+    solo.run_to(15.0, 0.5, want);
+    expect_same_samples(got[id], want);
+  }
+}
+
+// The single-walk observable plans must agree exactly with the model's
+// per-observable tree walks on evolving states (scoped and unscoped).
+TEST(CompiledModel, ObservablePlansMatchModelObserve) {
+  const auto m = models::make_compartment_demo({});
+  const auto cm = cwc::compiled_model::compile(m);
+  cwc::engine eng(cm, 13, 0);
+  std::vector<std::uint64_t> scratch;
+  std::vector<double> fast;
+  for (int i = 0; i < 200; ++i) {
+    if (!eng.step()) break;
+    cm->observe_all(eng.state(), scratch, fast);
+    EXPECT_EQ(fast, m.observe_all(eng.state())) << "step " << i;
+  }
+}
+
+// The compiler's flat dependency index against an independent reference
+// implementation (the audited former next_reaction_engine logic, kept here
+// as the test oracle).
+TEST(CompiledModel, FlatDependencyIndexMatchesReference) {
+  for (int which = 0; which < 2; ++which) {
+    const cwc::reaction_network net = which == 0
+                                          ? models::make_neurospora_flat({})
+                                          : models::make_michaelis_menten({});
+    const auto cm = cwc::compiled_model::compile(net);
+    const auto& reactions = net.reactions();
+    const std::size_t r = reactions.size();
+
+    std::vector<std::set<cwc::species_id>> writes(r), reads(r);
+    std::vector<bool> reads_everything(r, false);
+    for (std::size_t j = 0; j < r; ++j) {
+      for (const cwc::stoich& s : reactions[j].reactants) {
+        reads[j].insert(s.sp);
+        writes[j].insert(s.sp);
+      }
+      for (const cwc::stoich& s : reactions[j].products) writes[j].insert(s.sp);
+      if (!reactions[j].law.is_mass_action()) reads_everything[j] = true;
+    }
+    for (std::size_t j = 0; j < r; ++j) {
+      std::vector<std::uint32_t> want;
+      for (std::size_t k = 0; k < r; ++k) {
+        if (k == j) continue;
+        bool affected = reads_everything[k];
+        for (auto it = writes[j].begin(); !affected && it != writes[j].end();
+             ++it)
+          affected = reads[k].count(*it) != 0;
+        if (affected) want.push_back(static_cast<std::uint32_t>(k));
+      }
+      EXPECT_EQ(cm->depends(j), want) << "reaction " << j;
+    }
+  }
+}
+
+// The point of the layer: constructing an engine from the shared artifact
+// allocates strictly less than the legacy recompile path, because the
+// dependency tables / slot maps / footprints are not rebuilt.
+TEST(CompiledModel, ConstructionSkipsStaticTableAllocations) {
+  const auto m = models::make_neurospora_cwc({});
+  const auto cm = cwc::compiled_model::compile(m);
+
+  auto ctor_allocs = [&](auto&& make) {
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    make();
+    return g_allocs.load(std::memory_order_relaxed) - before;
+  };
+
+  // Warm both paths once (gtest internals, lazy locale setup, ...).
+  (void)ctor_allocs([&] { cwc::engine e(m, 3, 0); });
+  (void)ctor_allocs([&] { cwc::engine e(cm, 3, 0); });
+
+  const std::uint64_t legacy = ctor_allocs([&] { cwc::engine e(m, 3, 1); });
+  const std::uint64_t shared_path =
+      ctor_allocs([&] { cwc::engine e(cm, 3, 1); });
+
+  // The legacy path compiles per engine: applicable-rule lists, slot maps,
+  // four footprint bitmaps per rule and three redo lists per rule all get
+  // allocated again. Sharing must cut construction allocations by well
+  // more than those tables (neurospora: 6 rules -> dozens of vectors).
+  EXPECT_LT(shared_path, legacy);
+  EXPECT_LE(shared_path + 20, legacy)
+      << "shared-artifact construction still rebuilds static tables "
+      << "(legacy " << legacy << " allocs, shared " << shared_path << ")";
+
+  // And construction cost is stable run to run (no hidden lazy state).
+  EXPECT_EQ(shared_path, ctor_allocs([&] { cwc::engine e(cm, 3, 2); }));
+
+  // The flat engines share the same property.
+  const auto net = models::make_neurospora_flat({});
+  const auto fcm = cwc::compiled_model::compile(net);
+  (void)ctor_allocs([&] { cwc::next_reaction_engine e(net, 3, 0); });
+  (void)ctor_allocs([&] { cwc::next_reaction_engine e(fcm, 3, 0); });
+  const std::uint64_t nrm_legacy =
+      ctor_allocs([&] { cwc::next_reaction_engine e(net, 3, 1); });
+  const std::uint64_t nrm_shared =
+      ctor_allocs([&] { cwc::next_reaction_engine e(fcm, 3, 1); });
+  EXPECT_LT(nrm_shared, nrm_legacy);
+}
+
+// ---- the session_test lockstep pattern, through the compiled path --------
+// One model, three backends, all sharing (or wire-shipping + recompiling)
+// one artifact: the streamed windows must stay bit-exact with the batch
+// pipeline — i.e. with the pre-refactor engines the seed suites pin.
+TEST(CompiledModel, ThreeBackendsBitExactThroughCompileOnce) {
+  const auto m = models::make_neurospora_cwc({});
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = 8;
+  cfg.t_end = 10.0;
+  cfg.sample_period = 0.5;
+  cfg.quantum = 2.5;
+  cfg.sim_workers = 2;
+  cfg.stat_engines = 2;
+  cfg.window_size = 7;
+  cfg.window_slide = 7;
+  cfg.kmeans_k = 2;
+  cfg.seed = 99;
+
+  const auto batch = cwcsim::simulate(m, cfg);
+  ASSERT_FALSE(batch.windows.empty());
+
+  for (const cwcsim::backend& b :
+       {cwcsim::backend{cwcsim::multicore{}},
+        cwcsim::backend{cwcsim::distributed{2, 2}},
+        cwcsim::backend{cwcsim::gpu{simt::devices::laptop_gpu()}}}) {
+    const auto report = cwcsim::run(m, cfg, b);
+    ASSERT_EQ(report.result.windows.size(), batch.windows.size());
+    for (std::size_t i = 0; i < batch.windows.size(); ++i) {
+      ASSERT_EQ(report.result.windows[i].first_sample,
+                batch.windows[i].first_sample);
+      ASSERT_EQ(report.result.windows[i].cuts.size(),
+                batch.windows[i].cuts.size());
+      for (std::size_t c = 0; c < batch.windows[i].cuts.size(); ++c) {
+        const auto& x = report.result.windows[i].cuts[c];
+        const auto& y = batch.windows[i].cuts[c];
+        ASSERT_EQ(x.sample_index, y.sample_index);
+        ASSERT_EQ(x.moments.size(), y.moments.size());
+        for (std::size_t d = 0; d < x.moments.size(); ++d) {
+          ASSERT_DOUBLE_EQ(x.moments[d].mean(), y.moments[d].mean());
+          ASSERT_DOUBLE_EQ(x.moments[d].variance(), y.moments[d].variance());
+        }
+        ASSERT_EQ(x.medians, y.medians);
+      }
+    }
+    // The distributed backend shipped the model exactly once per host.
+    if (std::holds_alternative<cwcsim::distributed>(b)) {
+      ASSERT_TRUE(report.network.has_value());
+      EXPECT_GT(report.network->model_bytes, 0.0);
+    }
+  }
+}
+
+}  // namespace

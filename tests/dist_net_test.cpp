@@ -1,6 +1,7 @@
 // Additional distributed-runtime coverage beyond the seed suite:
-// bandwidth throttling timing, empty-buffer reads, and degenerate
-// zero-length containers on the wire.
+// bandwidth throttling timing, empty-buffer reads, degenerate zero-length
+// containers on the wire, the versioned-frame schema header, and the
+// compiled-model codec (ship the model once per run).
 #include <gtest/gtest.h>
 
 #include "dist/dist.hpp"
@@ -91,6 +92,149 @@ TEST(ArchiveEdge, CorruptVectorLengthThrows) {
   const auto bytes = w.take();
   dist::archive_reader r(bytes);
   EXPECT_THROW(r.get_vector<double>(), std::runtime_error);
+}
+
+// ------------------------- schema-versioned frames ------------------------
+
+TEST(ArchiveSchema, HeaderRoundTrips) {
+  dist::archive_writer w;
+  dist::put_schema_header(w);
+  w.put<std::uint32_t>(0xF00D);
+  const auto bytes = w.take();
+
+  dist::archive_reader r(bytes);
+  EXPECT_NO_THROW(dist::check_schema_header(r));
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xF00Du);
+}
+
+TEST(ArchiveSchema, MismatchThrowsTypedError) {
+  dist::archive_writer w;
+  w.put<std::uint8_t>(dist::archive_schema_version + 1);  // a future schema
+  const auto bytes = w.take();
+
+  dist::archive_reader r(bytes);
+  try {
+    dist::check_schema_header(r);
+    FAIL() << "expected schema_mismatch_error";
+  } catch (const dist::schema_mismatch_error& e) {
+    EXPECT_EQ(e.expected(), dist::archive_schema_version);
+    EXPECT_EQ(e.found(), dist::archive_schema_version + 1);
+    EXPECT_NE(std::string(e.what()).find("schema mismatch"),
+              std::string::npos);
+  }
+  // And it stays catchable as the generic archive error.
+  dist::archive_reader r2(bytes);
+  EXPECT_THROW(dist::check_schema_header(r2), std::runtime_error);
+}
+
+// ------------------------------ model codec -------------------------------
+
+TEST(ModelCodec, TreeModelRoundTripsBitExact) {
+  const auto m = models::make_neurospora_cwc({});
+  const cwcsim::model_ref ref{&m, nullptr, nullptr};
+  ASSERT_TRUE(dist::wire_encodable(ref));
+
+  const auto frame = dist::encode_model(ref);
+  EXPECT_GT(frame.size(), 0u);
+  const auto cm = dist::decode_model(frame);
+  ASSERT_TRUE(cm->is_tree());
+
+  // The decoded model is structurally identical...
+  const cwc::model& d = *cm->tree();
+  EXPECT_EQ(d.species().size(), m.species().size());
+  EXPECT_EQ(d.compartment_types().size(), m.compartment_types().size());
+  ASSERT_EQ(d.rules().size(), m.rules().size());
+  for (std::size_t j = 0; j < m.rules().size(); ++j)
+    EXPECT_EQ(d.rules()[j].name(), m.rules()[j].name());
+  EXPECT_TRUE(d.initial().equals(m.initial()));
+  ASSERT_EQ(d.observables().size(), m.observables().size());
+
+  // ...and behaviourally bit-exact: same seed, same sample path.
+  for (std::uint64_t id = 0; id < 2; ++id) {
+    cwc::engine original(m, 47, id);
+    cwc::engine decoded(cm, 47, id);
+    std::vector<cwc::trajectory_sample> so, sd;
+    original.run_to(12.0, 0.5, so);
+    decoded.run_to(12.0, 0.5, sd);
+    ASSERT_EQ(so.size(), sd.size());
+    for (std::size_t i = 0; i < so.size(); ++i) {
+      EXPECT_EQ(so[i].time, sd[i].time);
+      EXPECT_EQ(so[i].values, sd[i].values);
+    }
+    EXPECT_EQ(original.steps(), decoded.steps());
+  }
+}
+
+TEST(ModelCodec, FlatModelRoundTripsBitExact) {
+  const auto net = models::make_lotka_volterra({});
+  const cwcsim::model_ref ref{nullptr, &net, nullptr};
+  ASSERT_TRUE(dist::wire_encodable(ref));
+
+  const auto cm = dist::decode_model(dist::encode_model(ref));
+  ASSERT_FALSE(cm->is_tree());
+  ASSERT_EQ(cm->flat()->reactions().size(), net.reactions().size());
+
+  cwc::flat_engine original(net, 5, 1);
+  cwc::flat_engine decoded(cm, 5, 1);
+  std::vector<cwc::trajectory_sample> so, sd;
+  original.run_to(8.0, 0.25, so);
+  decoded.run_to(8.0, 0.25, sd);
+  ASSERT_EQ(so.size(), sd.size());
+  for (std::size_t i = 0; i < so.size(); ++i)
+    EXPECT_EQ(so[i].values, sd[i].values);
+}
+
+TEST(ModelCodec, CustomRateLawIsNotEncodable) {
+  cwc::reaction_network net;
+  const auto a = net.declare_species("A");
+  net.set_initial(a, 5);
+  net.add_reaction("opaque", {{a, 1}}, {},
+                   cwc::rate_law::custom([](const cwc::rate_ctx& ctx) {
+                     return ctx.combinations;
+                   }));
+  const cwcsim::model_ref ref{nullptr, &net, nullptr};
+  EXPECT_FALSE(dist::wire_encodable(ref));
+  EXPECT_THROW(dist::encode_model(ref), util::precondition_error);
+}
+
+TEST(ModelCodec, DecodeRejectsWrongSchemaVersion) {
+  const auto net = models::make_birth_death({});
+  auto frame = dist::encode_model(cwcsim::model_ref{nullptr, &net, nullptr});
+  frame[0] = std::byte{0x7F};  // stamp a foreign schema version
+  EXPECT_THROW(dist::decode_model(frame), dist::schema_mismatch_error);
+}
+
+TEST(ModelCodec, DecodeRejectsTruncatedFrame) {
+  const auto net = models::make_birth_death({});
+  auto frame = dist::encode_model(cwcsim::model_ref{nullptr, &net, nullptr});
+  frame.resize(frame.size() / 2);
+  EXPECT_THROW(dist::decode_model(frame), std::runtime_error);
+}
+
+TEST(DistributedModelShipping, ShipsOneFramePerHostPerRun) {
+  const auto m = models::make_neurospora_cwc({});
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = 6;
+  cfg.t_end = 4.0;
+  cfg.sample_period = 0.5;
+  cfg.quantum = 2.0;
+  cfg.kmeans_k = 0;
+  cfg.window_size = 3;
+  cfg.window_slide = 3;
+
+  dist::dist_config dc;
+  dc.base = cfg;
+  dc.num_hosts = 3;
+  dc.workers_per_host = 2;
+  const auto dr = dist::distributed_simulator(m, dc).run();
+
+  const auto frame =
+      dist::encode_model(cwcsim::model_ref{&m, nullptr, nullptr});
+  EXPECT_EQ(dr.model_bytes,
+            static_cast<double>(frame.size()) * dc.num_hosts);
+  // Model traffic is accounted separately from the result stream.
+  EXPECT_GT(dr.bytes, 0.0);
+  EXPECT_EQ(dr.result.completions.size(), cfg.num_trajectories);
 }
 
 TEST(DistributedConfig, RejectsNonPositiveQuantum) {
