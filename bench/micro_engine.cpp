@@ -4,6 +4,9 @@
 // paper §IV), plus the statistics kernels feeding the DES calibration.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "models/models.hpp"
 #include "stats/stats.hpp"
 #include "util/rng.hpp"
@@ -85,6 +88,99 @@ void bm_cwc_step_compartment_demo(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(bm_cwc_step_compartment_demo);
+
+// The batching payoff (ROADMAP "Batch trajectory engines"): one SoA batch
+// engine stepping kBatchLanes lanes of the same model quantum-lockstep vs
+// the same ensemble as scalar engines stepped one at a time. Sample paths
+// are bit-identical (tests/cwc_batch_test.cpp locks them step by step);
+// items/sec counts aggregate SSA lane-steps — the "aggregate lanes/s"
+// measure, higher is better. When the whole ensemble stalls (the
+// compartment demo eventually exhausts itself), it is re-seeded outside
+// the timed region, identically in both variants.
+constexpr std::size_t kBatchLanes = 32;
+constexpr double kBatchQuantum = 2.0;
+constexpr double kBatchPeriod = 0.5;
+
+void bm_batch_step(benchmark::State& state, const cwc::model& m) {
+  const auto cm = cwc::compiled_model::compile(m);
+  std::uint64_t seed = 1;
+  auto eng = std::make_unique<cwc::batch::batch_engine>(cm, seed, 0,
+                                                        kBatchLanes);
+  std::vector<std::vector<cwc::trajectory_sample>> out;
+  std::uint64_t items = 0;
+  double t_end = 0.0;
+  for (auto _ : state) {
+    t_end += kBatchQuantum;
+    std::uint64_t before = 0, after = 0;
+    for (std::size_t i = 0; i < kBatchLanes; ++i) before += eng->steps(i);
+    eng->step_quantum(kBatchQuantum, t_end, kBatchPeriod, out);
+    for (auto& v : out) v.clear();
+    for (std::size_t i = 0; i < kBatchLanes; ++i) after += eng->steps(i);
+    items += after - before;
+    if (after == before) {  // whole ensemble stalled: re-seed off the clock
+      state.PauseTiming();
+      eng = std::make_unique<cwc::batch::batch_engine>(cm, ++seed, 0,
+                                                       kBatchLanes);
+      t_end = 0.0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+}
+
+void bm_batch_step_scalar(benchmark::State& state, const cwc::model& m) {
+  const auto cm = cwc::compiled_model::compile(m);
+  std::uint64_t seed = 1;
+  std::vector<cwc::engine> engines;
+  const auto reseed = [&](std::uint64_t s) {
+    engines.clear();
+    engines.reserve(kBatchLanes);
+    for (std::size_t i = 0; i < kBatchLanes; ++i) engines.emplace_back(cm, s, i);
+  };
+  reseed(seed);
+  std::vector<cwc::trajectory_sample> out;
+  std::uint64_t items = 0;
+  double t_end = 0.0;
+  for (auto _ : state) {
+    t_end += kBatchQuantum;
+    std::uint64_t moved = 0;
+    for (cwc::engine& e : engines) {
+      const std::uint64_t before = e.steps();
+      const double horizon = std::min(e.time() + kBatchQuantum, t_end);
+      e.run_to(horizon, kBatchPeriod, out);
+      out.clear();
+      moved += e.steps() - before;
+    }
+    items += moved;
+    if (moved == 0) {
+      state.PauseTiming();
+      reseed(++seed);
+      t_end = 0.0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+}
+
+void bm_batch_step_neurospora(benchmark::State& state) {
+  bm_batch_step(state, models::make_neurospora_cwc({}));
+}
+BENCHMARK(bm_batch_step_neurospora);
+
+void bm_batch_step_neurospora_scalar(benchmark::State& state) {
+  bm_batch_step_scalar(state, models::make_neurospora_cwc({}));
+}
+BENCHMARK(bm_batch_step_neurospora_scalar);
+
+void bm_batch_step_compartment_demo(benchmark::State& state) {
+  bm_batch_step(state, models::make_compartment_demo({}));
+}
+BENCHMARK(bm_batch_step_compartment_demo);
+
+void bm_batch_step_compartment_demo_scalar(benchmark::State& state) {
+  bm_batch_step_scalar(state, models::make_compartment_demo({}));
+}
+BENCHMARK(bm_batch_step_compartment_demo_scalar);
 
 // Per-trajectory engine setup cost, the knob the compile-once layer turns:
 // a farm of 10⁴–10⁵ trajectories constructs that many engines. The legacy

@@ -11,12 +11,16 @@ last committed numbers — and prints a per-bench report:
 
 Usage:
     bench/trend.py [--base REV] [--current PATH] [--threshold PCT]
+                   [--fail-over PCT]
 
-The report is informational (exit code 0 even on regressions): shared CI
-runners are too noisy to gate on, so the bench-smoke job records the
-trend as an artifact instead — the same philosophy as BENCH_engine.json
-itself. A missing baseline (new clone, shallow checkout, renamed file)
-degrades to a note, never an error.
+--fail-over adds a regression verdict: the report ends with a
+"verdict: PASS" line when no benchmark is slower than the baseline by
+more than PCT percent, and "verdict: REGRESSED (...)" naming the
+offenders otherwise. The exit code stays 0 either way (shared CI runners
+are too noisy to gate on), so the bench-smoke job surfaces the verdict
+in its job summary instead of failing the build — the same philosophy as
+BENCH_engine.json itself. A missing baseline (new clone, shallow
+checkout, renamed file) degrades to a note, never an error.
 """
 
 import argparse
@@ -62,6 +66,10 @@ def main():
                     help="freshly generated JSON file (default: BENCH_engine.json)")
     ap.add_argument("--threshold", type=float, default=5.0,
                     help="flag deltas beyond this percentage (default: 5)")
+    ap.add_argument("--fail-over", type=float, default=None, metavar="PCT",
+                    help="emit a PASS/REGRESSED verdict line for benches "
+                         "slower than the baseline by more than PCT percent "
+                         "(report only - exit code stays 0)")
     args = ap.parse_args()
 
     repo = pathlib.Path(__file__).resolve().parent.parent
@@ -87,6 +95,7 @@ def main():
           f"(real time per op; +slower / -faster, |Δ|>{args.threshold:g}% flagged)")
     print(f"{'bench':<{width}}  {'base ns':>12}  {'cur ns':>12}  delta")
     flagged = 0
+    regressed = []
     for name in names:
         b = base.get(name, {}).get("real_time_ns")
         c = current.get(name, {}).get("real_time_ns")
@@ -101,9 +110,18 @@ def main():
         if abs(delta) > args.threshold:
             mark = "  ** slower **" if delta > 0 else "  (faster)"
             flagged += 1
+        if args.fail_over is not None and delta > args.fail_over:
+            regressed.append((name, delta))
         print(f"{name:<{width}}  {fmt_ns(b)}  {fmt_ns(c)}  {delta:+6.1f}%{mark}")
     print(f"{flagged} bench(es) beyond ±{args.threshold:g}% "
           f"({len(names)} compared). Informational only — not a gate.")
+    if args.fail_over is not None:
+        if regressed:
+            worst = ", ".join(f"{n} +{d:.1f}%" for n, d in regressed)
+            print(f"verdict: REGRESSED (> {args.fail_over:g}% slower: {worst})")
+        else:
+            print(f"verdict: PASS (no bench > {args.fail_over:g}% slower "
+                  f"than {args.base})")
     return 0
 
 

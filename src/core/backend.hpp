@@ -51,7 +51,16 @@ class config_error : public util::precondition_error {
 
 /// Run on this process's cores: the Fig. 2 farm of cfg.sim_workers
 /// simulation engines and cfg.stat_engines statistical engines.
-struct multicore {};
+struct multicore {
+  /// Opt-in ensemble batching: when > 1 (and the model is a tree model
+  /// without custom rate laws), trajectories are sliced into SoA batch
+  /// engines of this many lanes (cwc/batch/batch_engine.hpp) stepped
+  /// quantum-lockstep by a worker pool instead of the per-engine farm.
+  /// Sample paths, windows, and completions are bit-identical either way.
+  /// 0 or 1 — and any unbatchable model, or capture_trace runs — keep the
+  /// classic per-engine farm.
+  std::size_t batch_width = 0;
+};
 
 /// Run on a virtual cluster (paper §IV-B): num_hosts multicore hosts of
 /// workers_per_host engines stream serialized batches over the modeled
@@ -68,6 +77,12 @@ struct gpu {
   simt::device_spec device{};
   /// Path-decoherence time of the divergence model (see simt::gpu_params).
   double coherence_time = 25.0;
+  /// Lanes per batch engine (the paper's lockstep-kernel granularity):
+  /// when > 1, each kernel advances SoA batches of this many same-model
+  /// trajectories instead of scalar engines one by one. Bit-identical
+  /// results; flat-network and custom-law models fall back to scalar
+  /// lanes. 0 or 1 = scalar lanes.
+  std::size_t batch_width = 0;
 };
 
 /// Where a run executes. Swap this one value to move the same model and

@@ -1,0 +1,793 @@
+#include "cwc/batch/batch_engine.hpp"
+
+#include <algorithm>
+
+#include "cwc/sampling.hpp"
+#include "util/check.hpp"
+
+namespace cwc::batch {
+
+namespace {
+
+/// FNV-1a over the shape key words.
+std::uint64_t hash_key(const std::vector<std::uint64_t>& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint64_t w : key) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+    h ^= w >> 32;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool batch_engine::supports(const compiled_model& cm) {
+  if (!cm.is_tree()) return false;
+  for (const rule& r : cm.tree()->rules())
+    if (r.law().law_kind() == rate_law::kind::custom) return false;
+  return true;
+}
+
+batch_engine::batch_engine(std::shared_ptr<const compiled_model> cm,
+                           std::uint64_t seed,
+                           std::uint64_t first_trajectory_id,
+                           std::size_t width)
+    : cm_(std::move(cm)), first_id_(first_trajectory_id) {
+  util::expects(cm_ != nullptr && cm_->is_tree(),
+                "batch_engine needs a compiled tree model");
+  util::expects(supports(*cm_),
+                "batch_engine cannot evaluate custom rate laws");
+  util::expects(width >= 1, "batch_engine needs at least one lane");
+  num_species_ = cm_->num_species();
+  build_plans();
+
+  // Shared initial shape: one pre-order walk of the model's initial term.
+  std::vector<shape_class::node> nodes;
+  std::vector<std::vector<std::uint32_t>> kids;
+  std::vector<const compartment*> comps;  // pre-order, aligned with nodes
+  struct walker {
+    std::vector<shape_class::node>* nodes;
+    std::vector<std::vector<std::uint32_t>>* kids;
+    std::vector<const compartment*>* comps;
+    std::uint32_t walk(const compartment& c, std::int32_t parent) {
+      const auto idx = static_cast<std::uint32_t>(nodes->size());
+      nodes->push_back({c.type(), parent});
+      kids->emplace_back();
+      comps->push_back(&c);
+      for (std::size_t i = 0; i < c.num_children(); ++i) {
+        const std::uint32_t ci =
+            walk(c.child(i), static_cast<std::int32_t>(idx));
+        (*kids)[idx].push_back(ci);
+      }
+      return idx;
+    }
+  };
+  walker{&nodes, &kids, &comps}.walk(cm_->tree()->initial(), -1);
+  const shape_class* cls = intern_class(nodes, kids);
+
+  const std::size_t n = cls->nodes.size();
+  lane_state proto;
+  proto.cls = cls;
+  proto.content.assign(n * num_species_, 0);
+  proto.wrap.assign(n * num_species_, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (species_id s = 0; s < num_species_; ++s) {
+      proto.content[i * num_species_ + s] = comps[i]->content().count(s);
+      proto.wrap[i * num_species_ + s] = comps[i]->wrap().count(s);
+    }
+  }
+  proto.prop.assign(cls->matches.size(), 0.0);
+  proto.block_sub.assign(n, 0.0);
+  proto.match_stamp.assign(cls->matches.size(), 0);
+  proto.block_stamp.assign(n, 0);
+  recompute_all(proto);
+
+  lanes_.assign(width, proto);
+  time_.assign(width, 0.0);
+  pending_.assign(width, 0.0);
+  has_pending_.assign(width, 0);
+  next_sample_k_.assign(width, 0);
+  steps_.assign(width, 0);
+  stalled_.assign(width, 0);
+  done_.assign(width, 0);
+  rng_.reserve(width);
+  for (std::size_t l = 0; l < width; ++l)
+    rng_.emplace_back(seed, first_trajectory_id + l);
+}
+
+void batch_engine::build_plans() {
+  const auto sparse = [](const multiset& m) {
+    std::vector<sp_count> out;
+    m.for_each([&](species_id s, std::uint64_t n) { out.push_back({s, n}); });
+    return out;
+  };
+  const auto net = [this](const multiset& add, const multiset& sub) {
+    std::vector<sp_delta> out;
+    for (species_id s = 0; s < num_species_; ++s) {
+      const std::int64_t d = static_cast<std::int64_t>(add.count(s)) -
+                             static_cast<std::int64_t>(sub.count(s));
+      if (d != 0) out.push_back({s, d});
+    }
+    return out;
+  };
+  const auto add_read = [](std::vector<species_id>& v, species_id s) {
+    if (std::find(v.begin(), v.end(), s) == v.end()) v.push_back(s);
+  };
+
+  const auto& rules = cm_->tree()->rules();
+  plans_.resize(rules.size());
+  for (std::size_t j = 0; j < rules.size(); ++j) {
+    const rule& r = rules[j];
+    rule_plan& p = plans_[j];
+    p.reactants = sparse(r.reactants());
+    p.host_delta = net(r.products(), r.reactants());
+    p.law = &r.law();
+    const auto kind = r.law().law_kind();
+    p.has_driver = kind == rate_law::kind::michaelis_menten ||
+                   kind == rate_law::kind::hill_repression ||
+                   kind == rate_law::kind::hill_activation;
+    p.driver = r.law().driver();
+    p.driver_in_child = r.law().driver_in_child();
+    for (const sp_count& rc : p.reactants) add_read(p.host_reads, rc.sp);
+    if (p.has_driver && !p.driver_in_child) add_read(p.host_reads, p.driver);
+
+    if (r.child_pattern().has_value()) {
+      const comp_pattern& pat = *r.child_pattern();
+      p.has_child = true;
+      p.child_type = pat.type;
+      p.wrap_req = sparse(pat.wrap_req);
+      p.child_req = sparse(pat.content_req);
+      p.child_delta = net(r.child_products(), pat.content_req);
+      for (const sp_count& rc : p.child_req) add_read(p.child_reads, rc.sp);
+      if (p.has_driver && p.driver_in_child) add_read(p.child_reads, p.driver);
+    }
+    p.fate = r.fate();
+    for (const comp_product& cp : r.new_compartments())
+      p.creations.push_back({cp.type, sparse(cp.wrap), sparse(cp.content)});
+    p.structural = !p.creations.empty() || p.fate != child_fate::keep;
+  }
+}
+
+const batch_engine::shape_class* batch_engine::intern_class(
+    const std::vector<shape_class::node>& nodes,
+    const std::vector<std::vector<std::uint32_t>>& kids) {
+  key_scratch_.clear();
+  key_scratch_.reserve(nodes.size());
+  for (const shape_class::node& nd : nodes)
+    key_scratch_.push_back((static_cast<std::uint64_t>(nd.type) << 32) |
+                           static_cast<std::uint64_t>(nd.parent + 1));
+  const std::uint64_t h = hash_key(key_scratch_);
+  auto& bucket = classes_by_hash_[h];
+  for (const auto& c : bucket)
+    if (c->key == key_scratch_) return c.get();
+
+  auto cls = std::make_unique<shape_class>();
+  cls->nodes = nodes;
+  cls->children = kids;
+  cls->key = key_scratch_;
+
+  // Compile the match schedule in the scalar engine's canonical order:
+  // compartments in pre-order, applicable rules in declaration order,
+  // children in index order. Children whose type cannot match are omitted —
+  // the scalar engine computes 0.0 for them and drops them from the list,
+  // so omitting them changes neither the fold nor the selection scan.
+  const std::size_t n = cls->nodes.size();
+  cls->block_first.resize(n);
+  cls->block_count.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    cls->block_first[i] = static_cast<std::uint32_t>(cls->matches.size());
+    for (const std::uint32_t j : cm_->rules_for_type(cls->nodes[i].type)) {
+      const rule_plan& p = plans_[j];
+      if (!p.has_child) {
+        cls->matches.push_back({i, j, kNone, kNone});
+        continue;
+      }
+      const auto& ch = cls->children[i];
+      for (std::uint32_t pos = 0; pos < ch.size(); ++pos)
+        if (cls->nodes[ch[pos]].type == p.child_type)
+          cls->matches.push_back({i, j, ch[pos], pos});
+    }
+    cls->block_count[i] =
+        static_cast<std::uint32_t>(cls->matches.size()) - cls->block_first[i];
+  }
+
+  // Dirty index: which matches read (node, species) as an input. Membrane
+  // (wrap) counts only change structurally, so they need no entries.
+  cls->touched.assign(n * num_species_, {});
+  for (std::uint32_t mi = 0; mi < cls->matches.size(); ++mi) {
+    const match_desc& md = cls->matches[mi];
+    const rule_plan& p = plans_[md.rule];
+    for (const species_id s : p.host_reads)
+      cls->touched[md.host * num_species_ + s].push_back(mi);
+    if (md.child != kNone)
+      for (const species_id s : p.child_reads)
+        cls->touched[md.child * num_species_ + s].push_back(mi);
+  }
+
+  const shape_class* out = cls.get();
+  bucket.push_back(std::move(cls));
+  ++num_classes_;
+  return out;
+}
+
+double batch_engine::eval_match(const lane_state& L, std::uint32_t mi) const {
+  const match_desc& md = L.cls->matches[mi];
+  const rule_plan& rp = plans_[md.rule];
+  const std::uint64_t* host_c = &L.content[md.host * num_species_];
+
+  // Same arithmetic as rule::match_propensity: ascending-species products
+  // of choose(), early zero on the first infeasible species, the host and
+  // child factors combined as comb * (cw * cc).
+  double comb = 1.0;
+  for (const sp_count& rc : rp.reactants) {
+    const std::uint64_t have = host_c[rc.sp];
+    if (have < rc.n) return 0.0;
+    comb *= choose(have, rc.n);
+  }
+  if (comb == 0.0) return 0.0;
+
+  const std::uint64_t* child_c = nullptr;
+  if (rp.has_child) {
+    const std::uint64_t* cw = &L.wrap[md.child * num_species_];
+    child_c = &L.content[md.child * num_species_];
+    double w = 1.0;
+    for (const sp_count& rc : rp.wrap_req) {
+      if (cw[rc.sp] < rc.n) {
+        w = 0.0;
+        break;
+      }
+      w *= choose(cw[rc.sp], rc.n);
+    }
+    double cc = 1.0;
+    for (const sp_count& rc : rp.child_req) {
+      if (child_c[rc.sp] < rc.n) {
+        cc = 0.0;
+        break;
+      }
+      cc *= choose(child_c[rc.sp], rc.n);
+    }
+    comb *= w * cc;
+    if (comb == 0.0) return 0.0;
+  }
+
+  double p;
+  if (!rp.has_driver) {
+    p = rp.law->constant() * comb;  // mass action
+  } else {
+    const double x = rp.driver_in_child
+                         ? (child_c != nullptr
+                                ? static_cast<double>(child_c[rp.driver])
+                                : 0.0)
+                         : static_cast<double>(host_c[rp.driver]);
+    p = rp.law->evaluate_direct(comb, x);
+  }
+  return p > 0.0 ? p : 0.0;
+}
+
+void batch_engine::resum_block(lane_state& L, std::uint32_t b) {
+  // Canonical left-to-right fold over the block's matches; infeasible
+  // entries hold +0.0 and cannot perturb the sum, so the value is
+  // bit-identical to the scalar engine's positive-matches-only fold.
+  const std::uint32_t first = L.cls->block_first[b];
+  const std::uint32_t count = L.cls->block_count[b];
+  double sub = 0.0;
+  for (std::uint32_t mi = first; mi < first + count; ++mi) sub += L.prop[mi];
+  L.block_sub[b] = sub;
+}
+
+void batch_engine::recompute_all(lane_state& L) {
+  for (std::uint32_t mi = 0; mi < L.cls->matches.size(); ++mi)
+    L.prop[mi] = eval_match(L, mi);
+  for (std::uint32_t b = 0; b < L.cls->nodes.size(); ++b) resum_block(L, b);
+}
+
+double batch_engine::fold_total(const lane_state& L) const {
+  double total = 0.0;
+  for (const double sub : L.block_sub) total += sub;
+  return total;
+}
+
+void batch_engine::record_sample(std::size_t lane, double at,
+                                 std::vector<trajectory_sample>& out) {
+  const lane_state& L = lanes_[lane];
+  const auto& plans = cm_->observable_plans();
+  obs_scratch_.assign(plans.size(), 0);
+  // Same exact-integer accumulation as compiled_model::observe_all, over
+  // the SoA counts instead of a tree walk.
+  const std::size_t n = L.cls->nodes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t* c = &L.content[i * num_species_];
+    const std::uint64_t* w = &L.wrap[i * num_species_];
+    for (std::size_t o = 0; o < plans.size(); ++o) {
+      const auto& p = plans[o];
+      if (!p.scoped) {
+        obs_scratch_[o] += c[p.sp] + w[p.sp];
+      } else if (L.cls->nodes[i].type == p.scope) {
+        obs_scratch_[o] += c[p.sp];
+      }
+    }
+  }
+  trajectory_sample s;
+  s.time = at;
+  s.values.reserve(plans.size());
+  for (const std::uint64_t v : obs_scratch_)
+    s.values.push_back(static_cast<double>(v));
+  out.push_back(std::move(s));
+}
+
+void batch_engine::apply_fast(lane_state& L, const match_desc& md,
+                              const rule_plan& rp) {
+  std::uint64_t* host_c = &L.content[md.host * num_species_];
+  for (const sp_delta& d : rp.host_delta)
+    host_c[d.sp] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(host_c[d.sp]) + d.d);
+  std::uint64_t* child_c = nullptr;
+  if (rp.has_child) {
+    child_c = &L.content[md.child * num_species_];
+    for (const sp_delta& d : rp.child_delta)
+      child_c[d.sp] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(child_c[d.sp]) + d.d);
+  }
+
+  // Per-match dirty granularity: re-evaluate exactly the matches whose
+  // inputs changed (propensities are pure functions of the counts they
+  // read, so skipped entries keep bit-identical values), then re-fold the
+  // touched blocks in canonical order.
+  ++L.epoch;
+  dirty_matches_.clear();
+  dirty_blocks_.clear();
+  const auto mark = [&](std::uint32_t node, species_id s) {
+    for (const std::uint32_t mi : L.cls->touched[node * num_species_ + s]) {
+      if (L.match_stamp[mi] == L.epoch) continue;
+      L.match_stamp[mi] = L.epoch;
+      dirty_matches_.push_back(mi);
+      const std::uint32_t b = L.cls->matches[mi].host;
+      if (L.block_stamp[b] != L.epoch) {
+        L.block_stamp[b] = L.epoch;
+        dirty_blocks_.push_back(b);
+      }
+    }
+  };
+  for (const sp_delta& d : rp.host_delta) mark(md.host, d.sp);
+  if (rp.has_child)
+    for (const sp_delta& d : rp.child_delta) mark(md.child, d.sp);
+
+  for (const std::uint32_t mi : dirty_matches_) L.prop[mi] = eval_match(L, mi);
+  for (const std::uint32_t b : dirty_blocks_) resum_block(L, b);
+}
+
+const batch_engine::transition& batch_engine::find_transition(
+    const lane_state& L, const match_desc& md, const rule_plan& rp) {
+  const shape_class& C = *L.cls;
+  const auto n = static_cast<std::uint32_t>(C.nodes.size());
+  const std::uint32_t host = md.host;
+
+  // Transition lookup: the outcome depends only on (class, rule, host,
+  // bound child) — pack the index triple into one word, bucket by a hash
+  // of it with the class pointer, disambiguate on the full key. The 21-bit
+  // index fields bound the packing; fail loudly rather than alias keys on
+  // a pathological 2M-compartment tree.
+  util::expects(md.rule < (1u << 21) && host < (1u << 21) &&
+                    (md.child == kNone || md.child < (1u << 21) - 1),
+                "transition key fields exceed 21 bits");
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(md.rule) << 42) |
+      (static_cast<std::uint64_t>(host) << 21) |
+      (md.child == kNone ? 0 : static_cast<std::uint64_t>(md.child) + 1);
+  const std::uint64_t h =
+      (reinterpret_cast<std::uintptr_t>(L.cls) >> 4) * 0x9e3779b97f4a7c15ULL ^
+      packed * 0x100000001b3ULL;
+  auto& bucket = transitions_[h];
+  for (auto& [key, tr] : bucket)
+    if (key.first == L.cls && key.second == packed) return tr;
+
+  // ---- miss: build the edited topology once and cache it --------------
+  // Edited child list of the host (old ids; creation k gets id n+k),
+  // replaying rule::apply's order: creations append first, then the bound
+  // child is dropped (its original position is still valid) and dissolve
+  // appends the grandchildren.
+  host_kids_scratch_.assign(C.children[host].begin(), C.children[host].end());
+  for (std::uint32_t k = 0; k < rp.creations.size(); ++k)
+    host_kids_scratch_.push_back(n + k);
+  if (rp.has_child && rp.fate != child_fate::keep) {
+    host_kids_scratch_.erase(host_kids_scratch_.begin() + md.child_pos);
+    if (rp.fate == child_fate::dissolve)
+      for (const std::uint32_t g : C.children[md.child])
+        host_kids_scratch_.push_back(g);
+  }
+
+  // New pre-order topology + origin map (removed subtrees unreachable).
+  new_nodes_.clear();
+  origin_.clear();
+  const auto walk = [&](auto&& self, std::uint32_t old_id,
+                        std::int32_t parent) -> std::uint32_t {
+    const auto idx = static_cast<std::uint32_t>(new_nodes_.size());
+    const bool created = old_id >= n;
+    new_nodes_.push_back(
+        {created ? rp.creations[old_id - n].type : C.nodes[old_id].type,
+         parent});
+    if (new_children_.size() <= idx) new_children_.emplace_back();
+    new_children_[idx].clear();
+    origin_.push_back(old_id);
+    if (created) return idx;  // comp_products carry no nested compartments
+    const auto& kids_of =
+        old_id == host ? host_kids_scratch_ : C.children[old_id];
+    for (const std::uint32_t c : kids_of) {
+      const std::uint32_t ci = self(self, c, static_cast<std::int32_t>(idx));
+      new_children_[idx].push_back(ci);
+    }
+    return idx;
+  };
+  walk(walk, 0, -1);
+  const auto n2 = static_cast<std::uint32_t>(new_nodes_.size());
+  new_children_.resize(n2);
+
+  transition tr;
+  tr.to = intern_class(new_nodes_, new_children_);
+  tr.origin = origin_;
+  for (std::uint32_t i = 0; i < n2; ++i) {
+    if (origin_[i] == host) tr.new_host = i;
+    if (rp.has_child && rp.fate == child_fate::keep && origin_[i] == md.child)
+      tr.new_bound = i;
+  }
+  util::ensures(tr.new_host != kNone, "structural rewrite lost the host");
+  bucket.emplace_back(std::make_pair(L.cls, packed), std::move(tr));
+  return bucket.back().second;
+}
+
+void batch_engine::apply_structural(lane_state& L, const match_desc& md,
+                                    const rule_plan& rp) {
+  // Structural rewrites only edit the HOST's child list (creations append;
+  // dissolve/remove drop the bound child, dissolve reparents its children
+  // to the host's tail) plus the host/bound-child contents. Everything
+  // else keeps its subtree, its counts, and therefore — propensities being
+  // pure functions of the counts they read — its match values. The
+  // topology outcome comes from the transition cache; per fire we carry
+  // counts and match values by origin and re-evaluate only matches whose
+  // inputs changed. All scratch is engine-owned and swapped with the lane
+  // arrays, so steady-state structural churn allocates only when a
+  // never-seen tree shape (or transition) must be compiled.
+  const shape_class& C = *L.cls;
+  const auto n = static_cast<std::uint32_t>(C.nodes.size());
+  const std::uint32_t host = md.host;
+
+  const transition& tr = find_transition(L, md, rp);
+  const shape_class* C2 = tr.to;
+  const std::vector<std::uint32_t>& origin = tr.origin;
+  const auto n2 = static_cast<std::uint32_t>(C2->nodes.size());
+  const std::uint32_t new_host = tr.new_host;
+  const std::uint32_t new_bound = tr.new_bound;
+
+  // ---- counts, carried by origin then edited ----
+  new_content_.resize(std::size_t{n2} * num_species_);
+  new_wrap_.resize(std::size_t{n2} * num_species_);
+  for (std::uint32_t i = 0; i < n2; ++i) {
+    const std::uint32_t o = origin[i];
+    std::uint64_t* c = &new_content_[std::size_t{i} * num_species_];
+    std::uint64_t* w = &new_wrap_[std::size_t{i} * num_species_];
+    if (o >= n) {
+      std::fill(c, c + num_species_, 0);
+      std::fill(w, w + num_species_, 0);
+      for (const sp_count& rc : rp.creations[o - n].content) c[rc.sp] += rc.n;
+      for (const sp_count& rc : rp.creations[o - n].wrap) w[rc.sp] += rc.n;
+    } else {
+      std::copy_n(&L.content[std::size_t{o} * num_species_], num_species_, c);
+      std::copy_n(&L.wrap[std::size_t{o} * num_species_], num_species_, w);
+    }
+  }
+  std::uint64_t* host_c = &new_content_[std::size_t{new_host} * num_species_];
+  for (const sp_delta& d : rp.host_delta)
+    host_c[d.sp] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(host_c[d.sp]) + d.d);
+  if (rp.has_child) {
+    if (rp.fate == child_fate::keep) {
+      std::uint64_t* cc = &new_content_[std::size_t{new_bound} * num_species_];
+      for (const sp_delta& d : rp.child_delta)
+        cc[d.sp] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(cc[d.sp]) + d.d);
+    } else if (rp.fate == child_fate::dissolve) {
+      // Release the dissolved child's post-edit content plus its membrane
+      // into the host (exact integer adds; order is immaterial).
+      const std::uint64_t* oc = &L.content[std::size_t{md.child} * num_species_];
+      const std::uint64_t* ow = &L.wrap[std::size_t{md.child} * num_species_];
+      for (species_id s = 0; s < num_species_; ++s)
+        host_c[s] += oc[s] + ow[s];
+      for (const sp_delta& d : rp.child_delta)
+        host_c[d.sp] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(host_c[d.sp]) + d.d);
+    }
+  }
+
+  // ---- propensities: per-match carry, re-evaluating only changed inputs.
+  // A match value is a pure function of the counts it reads, so any match
+  // whose host row, bound-child row, and existence are unchanged keeps its
+  // value bit-exactly. Structural edits change: the host's content and
+  // child list, the kept bound child's content, and nothing else — so only
+  // the host block (selectively), the parent block's matches *binding the
+  // host* (selectively), the kept bound child's block, and created nodes'
+  // blocks can need re-evaluation.
+  new_prop_.assign(C2->matches.size(), 0.0);
+  new_block_sub_.assign(n2, 0.0);
+  eval_list_.clear();
+
+  // Conservative set of host-content species that changed (over-marking
+  // only costs a re-evaluation, which returns the identical value).
+  changed_host_.assign(num_species_, 0);
+  for (const sp_delta& d : rp.host_delta) changed_host_[d.sp] = 1;
+  if (rp.has_child && rp.fate == child_fate::dissolve) {
+    const std::uint64_t* oc = &L.content[std::size_t{md.child} * num_species_];
+    const std::uint64_t* ow = &L.wrap[std::size_t{md.child} * num_species_];
+    for (species_id s = 0; s < num_species_; ++s)
+      if ((oc[s] | ow[s]) != 0) changed_host_[s] = 1;
+    for (const sp_delta& d : rp.child_delta) changed_host_[d.sp] = 1;
+  }
+  const auto reads_changed_host = [&](const std::vector<species_id>& reads) {
+    for (const species_id s : reads)
+      if (changed_host_[s] != 0) return true;
+    return false;
+  };
+
+  const std::uint32_t old_parent =
+      C.nodes[host].parent < 0 ? kNone
+                               : static_cast<std::uint32_t>(C.nodes[host].parent);
+
+  for (std::uint32_t i = 0; i < n2; ++i) {
+    const std::uint32_t o = origin[i];
+    const std::uint32_t first2 = C2->block_first[i];
+    const std::uint32_t cnt2 = C2->block_count[i];
+    if (o >= n) {  // created this firing: everything is new
+      for (std::uint32_t mi = first2; mi < first2 + cnt2; ++mi)
+        eval_list_.push_back(mi);
+      continue;
+    }
+    if (i == new_host) {
+      // Child list and (possibly) content changed: walk the new block with
+      // a forward cursor over the old block (relative order of surviving
+      // children is preserved, so old counterparts appear in order).
+      std::uint32_t cursor = C.block_first[host];
+      const std::uint32_t old_end = cursor + C.block_count[host];
+      for (std::uint32_t mi = first2; mi < first2 + cnt2; ++mi) {
+        const match_desc& m2 = C2->matches[mi];
+        const std::uint32_t oc_id =
+            m2.child == kNone ? kNone : origin[m2.child];
+        const bool was_child_of_host =
+            m2.child == kNone ||
+            (oc_id < n && C.nodes[oc_id].parent ==
+                              static_cast<std::int32_t>(host));
+        std::uint32_t old_mi = kNone;
+        if (was_child_of_host) {
+          while (cursor < old_end) {
+            const match_desc& mo = C.matches[cursor];
+            const bool hit = mo.rule == m2.rule &&
+                             mo.child == (m2.child == kNone ? kNone : oc_id);
+            ++cursor;
+            if (hit) {
+              old_mi = cursor - 1;
+              break;
+            }
+          }
+        }
+        const rule_plan& pj = plans_[m2.rule];
+        const bool bound_child_edited =
+            m2.child != kNone && oc_id == md.child;  // kept + content delta
+        if (old_mi != kNone && !bound_child_edited &&
+            !reads_changed_host(pj.host_reads)) {
+          new_prop_[mi] = L.prop[old_mi];
+        } else {
+          eval_list_.push_back(mi);
+        }
+      }
+      continue;
+    }
+    if (old_parent != kNone && o == old_parent) {
+      // The parent's own content and child list are unchanged (edits happen
+      // at/below the host), so the block is positionally identical; only
+      // matches binding the host can have changed inputs.
+      util::ensures(cnt2 == C.block_count[o], "parent block shape mismatch");
+      for (std::uint32_t k = 0; k < cnt2; ++k) {
+        const match_desc& m2 = C2->matches[first2 + k];
+        const bool dirty = m2.child == new_host &&
+                           reads_changed_host(plans_[m2.rule].child_reads);
+        if (dirty)
+          eval_list_.push_back(first2 + k);
+        else
+          new_prop_[first2 + k] = L.prop[C.block_first[o] + k];
+      }
+      continue;
+    }
+    if (i == new_bound) {  // kept bound child with edited content
+      for (std::uint32_t mi = first2; mi < first2 + cnt2; ++mi)
+        eval_list_.push_back(mi);
+      continue;
+    }
+    // Untouched subtree: counts, children, and therefore every match value
+    // and the block fold carry over verbatim.
+    util::ensures(cnt2 == C.block_count[o], "carried block shape mismatch");
+    std::copy_n(L.prop.begin() + C.block_first[o], cnt2,
+                new_prop_.begin() + first2);
+    new_block_sub_[i] = L.block_sub[o];
+  }
+
+  L.cls = C2;
+  L.content.swap(new_content_);
+  L.wrap.swap(new_wrap_);
+  L.prop.swap(new_prop_);
+  L.block_sub.swap(new_block_sub_);
+  L.match_stamp.assign(C2->matches.size(), 0);
+  L.block_stamp.assign(n2, 0);
+  L.epoch = 0;
+
+  for (const std::uint32_t mi : eval_list_) L.prop[mi] = eval_match(L, mi);
+  // Re-fold every block that was not carried whole (canonical order keeps
+  // carried-entry sums bit-identical to a full re-enumeration).
+  for (std::uint32_t i = 0; i < n2; ++i) {
+    const std::uint32_t o = origin[i];
+    const bool carried_whole = o < n && i != new_host && i != new_bound &&
+                               !(old_parent != kNone && o == old_parent);
+    if (!carried_whole) resum_block(L, i);
+  }
+}
+
+void batch_engine::fire(std::size_t lane, double target) {
+  lane_state& L = lanes_[lane];
+  const shape_class& C = *L.cls;
+
+  // Two-level selection, scalar-engine arithmetic: prefix walk over the
+  // pre-order block subtotals, then a left-to-right scan inside the block,
+  // with the same floating-point-tail fallbacks (last feasible match of the
+  // block, then of the whole term).
+  std::uint32_t chosen = kNone;
+  double cum = 0.0;
+  const std::size_t n = C.nodes.size();
+  for (std::uint32_t b = 0; b < n; ++b) {
+    const double sub = L.block_sub[b];
+    const double with = cum + sub;
+    if (sub > 0.0 && with >= target) {
+      double inner = cum;
+      const std::uint32_t first = C.block_first[b];
+      const std::uint32_t count = C.block_count[b];
+      for (std::uint32_t mi = first; mi < first + count; ++mi) {
+        const double p = L.prop[mi];
+        if (p <= 0.0) continue;  // absent from the scalar match list
+        inner += p;
+        if (inner >= target) {
+          chosen = mi;
+          break;
+        }
+      }
+      if (chosen == kNone) {
+        for (std::uint32_t mi = first + count; mi-- > first;) {
+          if (L.prop[mi] > 0.0) {
+            chosen = mi;
+            break;
+          }
+        }
+      }
+      break;
+    }
+    cum = with;
+  }
+  if (chosen == kNone) {
+    for (std::uint32_t mi = static_cast<std::uint32_t>(C.matches.size());
+         mi-- > 0;) {
+      if (L.prop[mi] > 0.0) {
+        chosen = mi;
+        break;
+      }
+    }
+  }
+  util::ensures(chosen != kNone, "batch SSA selection on empty match set");
+
+  const match_desc& md = C.matches[chosen];
+  const rule_plan& rp = plans_[md.rule];
+  if (rp.structural) {
+    apply_structural(L, md, rp);
+  } else {
+    apply_fast(L, md, rp);
+  }
+  ++steps_[lane];
+}
+
+bool batch_engine::advance_one(std::size_t lane, double t_end,
+                               double sample_period,
+                               std::vector<trajectory_sample>& out) {
+  lane_state& L = lanes_[lane];
+  if (stalled_[lane] != 0) {
+    // No reaction can ever fire again: emit the frozen tail straight to
+    // t_end (the scalar backends' stall fast-forward).
+    const double horizon = t_end + sample_tolerance(t_end, sample_period);
+    while (sample_time(next_sample_k_[lane], sample_period) <= horizon) {
+      record_sample(lane, sample_time(next_sample_k_[lane], sample_period),
+                    out);
+      ++next_sample_k_[lane];
+    }
+    time_[lane] = t_end;
+    return false;
+  }
+
+  const double total = fold_total(L);
+  if (total <= 0.0) {
+    stalled_[lane] = 1;  // next round emits the frozen tail
+    return true;
+  }
+  const double t_next = has_pending_[lane] != 0
+                            ? pending_[lane]
+                            : time_[lane] + rng_[lane].next_exponential(total);
+
+  while (sample_time(next_sample_k_[lane], sample_period) <=
+             L.q_emit_horizon &&
+         sample_time(next_sample_k_[lane], sample_period) <= t_next) {
+    record_sample(lane, sample_time(next_sample_k_[lane], sample_period), out);
+    ++next_sample_k_[lane];
+  }
+  if (t_next > L.q_horizon) {
+    // Keep the deferred reaction across the quantum boundary: the sample
+    // path stays bit-for-bit independent of the quantum size.
+    pending_[lane] = t_next;
+    has_pending_[lane] = 1;
+    time_[lane] = L.q_horizon;
+    return false;
+  }
+  has_pending_[lane] = 0;
+  fire(lane, rng_[lane].next_uniform_pos() * total);
+  time_[lane] = t_next;
+  return true;
+}
+
+void batch_engine::step_quantum(
+    double quantum, double t_end, double sample_period,
+    std::vector<std::vector<trajectory_sample>>& out) {
+  util::expects(quantum > 0.0, "quantum must be positive");
+  util::expects(sample_period > 0.0, "sample period must be positive");
+  out.resize(lanes_.size());
+
+  active_lanes_.clear();
+  for (std::size_t l = 0; l < lanes_.size(); ++l) {
+    lane_state& L = lanes_[l];
+    if (done_[l] != 0 && time_[l] >= t_end) continue;
+    done_[l] = 0;
+    L.q_horizon = std::min(time_[l] + quantum, t_end);
+    L.q_emit_horizon =
+        L.q_horizon + sample_tolerance(L.q_horizon, sample_period);
+    active_lanes_.push_back(static_cast<std::uint32_t>(l));
+  }
+
+  // Lockstep rounds: every live lane executes at most one SSA step per
+  // round, so the ensemble sweeps through the quantum together. Lanes that
+  // park (deferred reaction past the horizon) or finish drop out of the
+  // round list; lane independence makes the removal order immaterial.
+  while (!active_lanes_.empty()) {
+    std::size_t i = 0;
+    while (i < active_lanes_.size()) {
+      const std::size_t l = active_lanes_[i];
+      if (advance_one(l, t_end, sample_period, out[l])) {
+        ++i;
+      } else {
+        done_[l] = time_[l] >= t_end ? 1 : 0;
+        active_lanes_[i] = active_lanes_.back();
+        active_lanes_.pop_back();
+      }
+    }
+  }
+}
+
+std::unique_ptr<term> batch_engine::materialize_state(std::size_t lane) const {
+  const lane_state& L = lanes_[lane];
+  const shape_class& C = *L.cls;
+  const auto build = [&](auto&& self, std::uint32_t i) -> std::unique_ptr<term> {
+    auto c = std::make_unique<compartment>(C.nodes[i].type, num_species_);
+    for (species_id s = 0; s < num_species_; ++s) {
+      const std::uint64_t cc = L.content[i * num_species_ + s];
+      const std::uint64_t cw = L.wrap[i * num_species_ + s];
+      if (cc != 0) c->content().set(s, cc);
+      if (cw != 0) c->wrap().set(s, cw);
+    }
+    for (const std::uint32_t k : C.children[i]) c->add_child(self(self, k));
+    return c;
+  };
+  return build(build, 0);
+}
+
+}  // namespace cwc::batch

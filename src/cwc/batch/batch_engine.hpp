@@ -1,0 +1,261 @@
+// Batch trajectory engine: N lanes of one model advanced in lockstep
+// (paper §IV-C, Table I — the GPU-simulation direction).
+//
+// A simulation campaign farms out thousands of trajectories of ONE model;
+// scalar `cwc::engine` instances step them one at a time, each dragging its
+// own pointer-heavy term tree and per-compartment hash-map match cache
+// through the cache hierarchy. The batch engine lays the ensemble out
+// structure-of-arrays instead:
+//
+//   - per-lane control state (lane clocks, deferred-reaction times,
+//     sampling-grid cursors, step counters, stall flags, RNG streams) lives
+//     in parallel arrays indexed by lane;
+//   - per-lane simulation state (dense species counts per compartment,
+//     per-match propensities, per-compartment block subtotals) lives in
+//     flat arenas whose layout is dictated by the lane's *shape class*;
+//   - lanes with the same tree shape share one immutable shape class: the
+//     compiled match-block schedule (which (compartment, rule, child)
+//     matches exist, in the scalar engine's canonical enumeration order)
+//     plus a (compartment, species) -> matches dirty index.
+//
+// step_quantum() advances every live lane to its quantum horizon in
+// lockstep rounds — each round executes at most one SSA step per lane, so
+// the ensemble moves through the quantum together, the way a SIMT kernel
+// sweeps its lanes — emitting per-lane samples on the shared sampling grid
+// (cwc/sampling.hpp).
+//
+// Lane exactness guarantee: lane i of a batch constructed with
+// (seed, first_id) replays bit-for-bit the sample path of a scalar
+// `cwc::engine(cm, seed, first_id + i)` driven with the same quantum
+// schedule (the advance-one-quantum contract of core/quantum.hpp). The
+// batch engine reproduces the scalar engine's arithmetic exactly: the same
+// left-to-right propensity folds, the same two-level selection scan with
+// the same floating-point fallbacks, the same RNG draw order, and the same
+// sampling-grid tolerance. What it *skips* is recomputation whose inputs
+// did not change: propensities are pure functions of the counts they read,
+// so the per-(match, species) dirty index can skip a re-evaluation the
+// scalar engine performs and still hold bit-identical values. That — plus
+// the flat SoA state — is where the batching speedup comes from
+// (bench: bm_batch_step_* vs the *_scalar baselines).
+//
+// Custom rate laws (opaque callables over the full match context) and flat
+// reaction networks are not batchable; `supports()` gates construction and
+// the backends fall back to scalar lanes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cwc/compiled_model.hpp"
+#include "cwc/gillespie.hpp"
+#include "cwc/rule.hpp"
+#include "util/rng.hpp"
+
+namespace cwc::batch {
+
+class batch_engine {
+ public:
+  /// Construct `width` lanes over one shared compiled artifact. Lane i is
+  /// trajectory `first_trajectory_id + i` of the campaign keyed by `seed` —
+  /// exactly the (seed, id) stream a scalar engine for that trajectory
+  /// would own. Requires supports(*cm).
+  batch_engine(std::shared_ptr<const compiled_model> cm, std::uint64_t seed,
+               std::uint64_t first_trajectory_id, std::size_t width);
+
+  /// True when `cm` is a tree model whose rate laws all have closed forms
+  /// (no custom callables) — the precondition for SoA evaluation.
+  static bool supports(const compiled_model& cm);
+
+  std::size_t width() const noexcept { return lanes_.size(); }
+  std::uint64_t lane_id(std::size_t lane) const {
+    return first_id_ + static_cast<std::uint64_t>(lane);
+  }
+  double time(std::size_t lane) const { return time_[lane]; }
+  std::uint64_t steps(std::size_t lane) const { return steps_[lane]; }
+  bool stalled(std::size_t lane) const { return stalled_[lane] != 0; }
+
+  /// Number of distinct tree shapes currently compiled for this batch
+  /// (diagnostic: 1 for shape-static models like Neurospora).
+  std::size_t num_shape_classes() const noexcept { return num_classes_; }
+
+  /// Advance every live lane (time < t_end) one scheduling quantum in
+  /// lockstep: lane horizon = min(time + quantum, t_end), samples appended
+  /// to out[lane] for every crossed grid point, and lanes that stall are
+  /// fast-forwarded to t_end with the frozen tail emitted — the
+  /// advance-one-quantum contract every backend worker uses
+  /// (core/quantum.hpp). out is resized to width(); existing contents of
+  /// each out[lane] are preserved (samples append).
+  void step_quantum(double quantum, double t_end, double sample_period,
+                    std::vector<std::vector<trajectory_sample>>& out);
+
+  /// Rebuild lane `lane`'s state as a term tree (deep copy) — the testing
+  /// hook for comparing batch lanes against scalar engines' state().
+  std::unique_ptr<term> materialize_state(std::size_t lane) const;
+
+ private:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  struct sp_count {
+    species_id sp = 0;
+    std::uint64_t n = 0;
+  };
+  struct sp_delta {
+    species_id sp = 0;
+    std::int64_t d = 0;
+  };
+  struct comp_init {
+    comp_type_id type = 0;
+    std::vector<sp_count> wrap;
+    std::vector<sp_count> content;
+  };
+
+  /// Static per-rule evaluation/application plan (sparse stoichiometry,
+  /// read footprints, net deltas) — derived once from the compiled model.
+  struct rule_plan {
+    std::vector<sp_count> reactants;   ///< host-content LHS, ascending species
+    std::vector<sp_count> wrap_req;    ///< bound child's membrane requirement
+    std::vector<sp_count> child_req;   ///< bound child's content LHS
+    std::vector<sp_delta> host_delta;  ///< net host-content change (non-zero)
+    std::vector<sp_delta> child_delta; ///< net bound-child-content change
+    std::vector<species_id> host_reads;   ///< host-content species read
+    std::vector<species_id> child_reads;  ///< child-content species read
+    std::vector<comp_init> creations;
+    bool has_child = false;
+    comp_type_id child_type = 0;
+    child_fate fate = child_fate::keep;
+    bool structural = false;  ///< creates/dissolves/removes compartments
+    const rate_law* law = nullptr;
+    bool has_driver = false;  ///< MM / Hill: reads a driver copy number
+    bool driver_in_child = false;
+    species_id driver = 0;
+  };
+
+  /// One match of the shared schedule: host compartment (pre-order index),
+  /// rule, and the bound child (pre-order index + position in the host's
+  /// child list), kNone for childless matches.
+  struct match_desc {
+    std::uint32_t host = 0;
+    std::uint32_t rule = 0;
+    std::uint32_t child = kNone;
+    std::uint32_t child_pos = kNone;
+  };
+
+  /// Immutable per-tree-shape schedule shared by every lane of that shape.
+  struct shape_class {
+    struct node {
+      comp_type_id type = 0;
+      std::int32_t parent = -1;  ///< pre-order index, -1 for the root
+    };
+    std::vector<node> nodes;  ///< pre-order
+    std::vector<std::vector<std::uint32_t>> children;  ///< per node, in order
+    std::vector<match_desc> matches;  ///< canonical enumeration order
+    /// Per node: contiguous match range (matches are host-major).
+    std::vector<std::uint32_t> block_first;
+    std::vector<std::uint32_t> block_count;
+    /// Dirty index: [node * num_species + species] -> matches whose
+    /// propensity reads that count (as host content or bound-child content).
+    std::vector<std::vector<std::uint32_t>> touched;
+    std::vector<std::uint64_t> key;  ///< (type, parent) encoding (registry)
+  };
+
+  /// Mutable per-lane state, laid out by the lane's shape class.
+  struct lane_state {
+    const shape_class* cls = nullptr;
+    std::vector<std::uint64_t> content;  ///< [node * S + species]
+    std::vector<std::uint64_t> wrap;     ///< [node * S + species]
+    std::vector<double> prop;            ///< per match; 0.0 when infeasible
+    std::vector<double> block_sub;       ///< per node, canonical fold
+    std::vector<std::uint32_t> match_stamp;  ///< dirty dedupe epochs
+    std::vector<std::uint32_t> block_stamp;
+    std::uint32_t epoch = 0;
+    // Quantum-scoped control (set by step_quantum).
+    double q_horizon = 0.0;
+    double q_emit_horizon = 0.0;  ///< q_horizon + sampling tolerance
+  };
+
+  /// Cached outcome of one structural rewrite kind: firing rule `r` at
+  /// host `h` (binding child `c`) in shape class `F` always yields the
+  /// same target class and the same old->new node mapping — a pure
+  /// function of (F, r, h, c). Cached so repeated structural churn skips
+  /// the topology walk and class interning entirely.
+  struct transition {
+    const shape_class* to = nullptr;
+    std::vector<std::uint32_t> origin;   ///< new node -> old node / creation
+    std::uint32_t new_host = kNone;
+    std::uint32_t new_bound = kNone;     ///< kept bound child, if any
+  };
+
+  void build_plans();
+  const shape_class* intern_class(
+      const std::vector<shape_class::node>& nodes,
+      const std::vector<std::vector<std::uint32_t>>& kids);
+  const transition& find_transition(const lane_state& L, const match_desc& md,
+                                    const rule_plan& rp);
+  double eval_match(const lane_state& L, std::uint32_t mi) const;
+  void recompute_all(lane_state& L);
+  void resum_block(lane_state& L, std::uint32_t b);
+  double fold_total(const lane_state& L) const;
+  void record_sample(std::size_t lane, double at,
+                     std::vector<trajectory_sample>& out);
+  /// One lockstep round for one lane: at most one SSA step (or park /
+  /// stall-tail). Returns false when the lane is done with this quantum.
+  bool advance_one(std::size_t lane, double t_end, double sample_period,
+                   std::vector<trajectory_sample>& out);
+  void fire(std::size_t lane, double target);
+  void apply_fast(lane_state& L, const match_desc& md, const rule_plan& rp);
+  void apply_structural(lane_state& L, const match_desc& md,
+                        const rule_plan& rp);
+
+  std::shared_ptr<const compiled_model> cm_;
+  std::size_t num_species_ = 0;
+  std::uint64_t first_id_ = 0;
+  std::vector<rule_plan> plans_;
+
+  // Shape-class registry: hash of the (type, parent) key -> classes.
+  std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<shape_class>>>
+      classes_by_hash_;
+  std::size_t num_classes_ = 0;
+  // Structural-transition cache: packed (from class, rule, host, child)
+  // key -> transition, hash-bucketed with full-key disambiguation.
+  std::unordered_map<
+      std::uint64_t,
+      std::vector<std::pair<std::pair<const shape_class*, std::uint64_t>,
+                            transition>>>
+      transitions_;
+
+  // ---- ensemble state, SoA across lanes ------------------------------
+  std::vector<double> time_;
+  std::vector<double> pending_;          ///< deferred reaction time
+  std::vector<std::uint8_t> has_pending_;
+  std::vector<std::uint64_t> next_sample_k_;
+  std::vector<std::uint64_t> steps_;
+  std::vector<std::uint8_t> stalled_;
+  /// Lane completed a quantum with time >= t_end (cleared if a later
+  /// step_quantum raises the horizon).
+  std::vector<std::uint8_t> done_;
+  std::vector<util::rng_stream> rng_;
+  std::vector<lane_state> lanes_;
+
+  // Reused scratch (no per-step allocation once warmed up).
+  std::vector<std::uint32_t> dirty_matches_;
+  std::vector<std::uint32_t> dirty_blocks_;
+  std::vector<std::uint64_t> obs_scratch_;
+  std::vector<std::uint32_t> active_lanes_;  ///< round list of one quantum
+  // Structural-rewrite scratch (swapped with lane arrays, so steady-state
+  // structural churn reuses the same buffers).
+  std::vector<std::uint32_t> host_kids_scratch_;
+  std::vector<shape_class::node> new_nodes_;
+  std::vector<std::vector<std::uint32_t>> new_children_;
+  std::vector<std::uint32_t> origin_;  ///< new id -> old id / creation
+  std::vector<std::uint64_t> new_content_;
+  std::vector<std::uint64_t> new_wrap_;
+  std::vector<double> new_prop_;
+  std::vector<double> new_block_sub_;
+  std::vector<std::uint64_t> key_scratch_;
+  std::vector<std::uint32_t> eval_list_;    ///< matches to re-evaluate
+  std::vector<std::uint8_t> changed_host_;  ///< host species changed by fire
+};
+
+}  // namespace cwc::batch

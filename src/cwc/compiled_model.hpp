@@ -90,6 +90,20 @@ class compiled_model {
   bool writes_host(std::uint32_t j) const { return writes_host_[j] != 0; }
   bool writes_child(std::uint32_t j) const { return writes_child_[j] != 0; }
 
+  /// One observable reduced to indices: no name or std::optional traffic
+  /// on the sampling path. Public so the batch engine can evaluate the same
+  /// plans over its SoA state with the same exact-integer accumulation.
+  struct observable_plan {
+    species_id sp = 0;
+    comp_type_id scope = 0;
+    bool scoped = false;
+  };
+
+  /// The compiled observable plans of a tree model, in observable order.
+  const std::vector<observable_plan>& observable_plans() const noexcept {
+    return observables_;
+  }
+
   /// Evaluate every observable of a tree model in ONE pre-order walk
   /// (`model::observe_all` walks once per observable). `scratch` is the
   /// caller's reusable integer accumulator — counts are summed exactly in
@@ -113,14 +127,6 @@ class compiled_model {
   void build_flat_tables();
   static std::shared_ptr<const compiled_model> finish(
       std::shared_ptr<compiled_model> cm);
-
-  /// One observable reduced to indices: no name or std::optional traffic
-  /// on the sampling path.
-  struct observable_plan {
-    species_id sp = 0;
-    comp_type_id scope = 0;
-    bool scoped = false;
-  };
 
   const model* tree_ = nullptr;
   const reaction_network* flat_ = nullptr;

@@ -2,6 +2,7 @@
 // terms, rules, stochastic (SSA) and deterministic (ODE) engines, parser.
 #pragma once
 
+#include "cwc/batch/batch_engine.hpp"
 #include "cwc/compiled_model.hpp"
 #include "cwc/flat_gillespie.hpp"
 #include "cwc/gillespie.hpp"

@@ -49,26 +49,34 @@ double rate_law::driver_count(const rate_ctx& ctx) const {
 }
 
 double rate_law::evaluate(const rate_ctx& ctx) const {
+  if (kind_ == kind::custom) return fn_(ctx);
+  if (kind_ == kind::mass_action) return a_ * ctx.combinations;  // no driver read
+  return evaluate_direct(ctx.combinations, driver_count(ctx));
+}
+
+double rate_law::evaluate_direct(double combinations,
+                                 double driver_count) const {
   switch (kind_) {
     case kind::mass_action:
-      return a_ * ctx.combinations;
+      return a_ * combinations;
     case kind::michaelis_menten: {
-      const double n = driver_count(ctx);
+      const double n = driver_count;
       return n == 0.0 ? 0.0 : a_ * n / (b_ + n);
     }
     case kind::hill_repression: {
-      const double x = driver_count(ctx);
+      const double x = driver_count;
       return a_ * kn_ / (kn_ + std::pow(x, c_));
     }
     case kind::hill_activation: {
-      const double x = driver_count(ctx);
+      const double x = driver_count;
       if (x == 0.0) return 0.0;
       const double xn = std::pow(x, c_);
       return a_ * xn / (kn_ + xn);
     }
     case kind::custom:
-      return fn_(ctx);
+      break;
   }
+  util::expects(false, "evaluate_direct has no closed form for custom laws");
   return 0.0;
 }
 

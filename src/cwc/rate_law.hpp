@@ -63,6 +63,13 @@ class rate_law {
   /// Propensity of one candidate match. Non-negative; 0 disables the match.
   double evaluate(const rate_ctx& ctx) const;
 
+  /// The closed-form law arithmetic shared by evaluate() and the batch
+  /// engine's SoA evaluator: propensity from the mass-action combinatorial
+  /// factor and the driver species' copy number (ignored by mass_action).
+  /// Not defined for custom laws (they need the full rate_ctx) — callers
+  /// must check law_kind() first; evaluate() routes custom laws itself.
+  double evaluate_direct(double combinations, double driver_count) const;
+
   /// Deterministic (mean-field) rate for the ODE converter: the caller
   /// supplies the continuous state and the mass-action monomial
   /// prod_s y_s^{n_s}; MM/Hill read the driver from `y`. Throws for

@@ -6,7 +6,7 @@ std::unique_ptr<backend_driver> make_gpu_driver(const model_ref& model,
                                                 const sim_config& cfg,
                                                 const gpu& b) {
   return std::make_unique<simt::gpu_driver>(model, cfg, b.device,
-                                            b.coherence_time);
+                                            b.coherence_time, b.batch_width);
 }
 
 }  // namespace cwcsim::detail

@@ -12,9 +12,11 @@ namespace simt {
 class gpu_driver final : public cwcsim::backend_driver {
  public:
   gpu_driver(const cwcsim::model_ref& model, const cwcsim::sim_config& cfg,
-             device_spec dev, double coherence_time)
+             device_spec dev, double coherence_time,
+             std::size_t batch_width = 0)
       : sim_(model, cfg, std::move(dev)) {
     sim_.set_coherence_time(coherence_time);
+    sim_.set_batch_width(batch_width);
   }
 
   const char* name() const noexcept override { return "gpu"; }

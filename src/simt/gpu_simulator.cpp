@@ -1,8 +1,10 @@
 #include "simt/gpu_simulator.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/online_analysis.hpp"
+#include "cwc/batch/batch_engine.hpp"
 #include "des/trace.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
@@ -48,6 +50,142 @@ gpu_run_result gpu_simulator::run() {
 }
 
 void gpu_simulator::run(cwcsim::event_sink& sink, cwcsim::run_report& report) {
+  if (batch_width_ > 1 && model_.compiled != nullptr &&
+      cwc::batch::batch_engine::supports(*model_.compiled)) {
+    run_batched(sink, report);
+    return;
+  }
+  run_scalar(sink, report);
+}
+
+void gpu_simulator::run_batched(cwcsim::event_sink& sink,
+                                cwcsim::run_report& report) {
+  util::stopwatch wall;
+  report.device.emplace();
+  cwcsim::run_report::device_stats& dev_stats = *report.device;
+
+  // Slice the campaign into SoA batch engines of batch_width_ contiguous
+  // trajectory ids. Lane i of group g IS trajectory g*W + i — the same
+  // (seed, id) RNG stream as a scalar lane, so results are bit-identical.
+  struct batch_group {
+    std::unique_ptr<cwc::batch::batch_engine> eng;
+    std::vector<std::vector<cwc::trajectory_sample>> samples;
+    std::vector<std::uint64_t> steps_before;
+    std::vector<std::uint64_t> prev_steps;  ///< warp re-packing predictor
+    std::vector<std::uint8_t> retired;
+    std::size_t live = 0;
+  };
+  std::vector<batch_group> groups;
+  for (std::uint64_t first = 0; first < cfg_.num_trajectories;
+       first += batch_width_) {
+    const auto w = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batch_width_, cfg_.num_trajectories - first));
+    batch_group g;
+    g.eng = std::make_unique<cwc::batch::batch_engine>(model_.compiled,
+                                                       cfg_.seed, first, w);
+    g.samples.resize(w);
+    g.steps_before.assign(w, 0);
+    g.prev_steps.assign(w, 0);
+    g.retired.assign(w, 0);
+    g.live = w;
+    groups.push_back(std::move(g));
+  }
+
+  cwcsim::online_analysis analysis(cfg_, model_.num_observables(), sink);
+
+  double total_lane_s = 0.0;
+  double total_warp_s = 0.0;
+  std::uint64_t live_lanes = cfg_.num_trajectories;
+  // (predictor, lane virtual seconds) of each live lane, re-packed into
+  // warps by predicted cost like the scalar path re-packs instances.
+  std::vector<std::pair<std::uint64_t, double>> packed;
+  std::vector<double> lane_seconds;
+
+  while (live_lanes > 0 && !sink.stop_requested()) {
+    // One ff_mapCUDA offload: every live batch advances one quantum in
+    // lockstep; per-lane virtual time comes from the per-lane step deltas.
+    packed.clear();
+    for (batch_group& g : groups) {
+      if (g.live == 0) continue;
+      for (std::size_t i = 0; i < g.samples.size(); ++i) {
+        g.samples[i].clear();
+        g.steps_before[i] = g.eng->steps(i);
+      }
+      g.eng->step_quantum(cfg_.quantum, cfg_.t_end, cfg_.sample_period,
+                          g.samples);
+      for (std::size_t i = 0; i < g.samples.size(); ++i) {
+        if (g.retired[i] != 0) continue;
+        const std::uint64_t steps = g.eng->steps(i) - g.steps_before[i];
+        packed.emplace_back(g.prev_steps[i],
+                            static_cast<double>(steps) * ns_per_step_ * 1e-9 *
+                                dev_.step_slowdown);
+        g.prev_steps[i] = steps;
+      }
+    }
+    // Stream-level re-balancing (paper §V-C): pack lanes with similar
+    // predicted cost (last quantum's steps) into the same warps.
+    std::stable_sort(packed.begin(), packed.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    lane_seconds.clear();
+    for (const auto& [pred, sec] : packed) lane_seconds.push_back(sec);
+
+    const double theta =
+        coherence_time_ > 0.0 ? std::min(1.0, cfg_.quantum / coherence_time_)
+                              : 0.0;
+    const kernel_stats ks = kernel_makespan(lane_seconds, dev_, theta);
+
+    // Host-side on-line analysis between kernels, lanes ingested in
+    // trajectory order (deterministic stream). Retired groups are skipped:
+    // the advance loop above no longer clears their sample buffers, so
+    // without the guard a dead group's final batch would be re-ingested
+    // every remaining round.
+    double bytes = 0.0;
+    for (batch_group& g : groups) {
+      if (g.live == 0) continue;
+      for (std::size_t i = 0; i < g.samples.size(); ++i) {
+        for (const auto& s : g.samples[i]) {
+          analysis.ingest(g.eng->lane_id(i), s);
+          bytes += static_cast<double>(s.values.size()) * 8.0 + 16.0;
+        }
+      }
+    }
+    const double mem_s =
+        dev_.unified_mem_bytes_s > 0 ? bytes / dev_.unified_mem_bytes_s : 0.0;
+    dev_stats.device_seconds += ks.device_seconds + mem_s;
+    total_lane_s += ks.busy_lane_seconds;
+    total_warp_s += ks.busy_warp_seconds;
+    ++dev_stats.kernels;
+
+    for (batch_group& g : groups) {
+      if (g.live == 0) continue;
+      for (std::size_t i = 0; i < g.samples.size(); ++i) {
+        if (g.retired[i] != 0 || g.eng->time(i) < cfg_.t_end) continue;
+        g.retired[i] = 1;
+        --g.live;
+        --live_lanes;
+        cwcsim::task_done d;
+        d.trajectory_id = g.eng->lane_id(i);
+        d.quanta = dev_stats.kernels;
+        d.steps = g.eng->steps(i);
+        report.result.completions.push_back(d);
+        sink.trajectory_done(d);
+      }
+    }
+  }
+
+  analysis.finish();
+
+  report.result.sim_workers = 0;
+  report.result.stat_engines = 1;
+  report.result.wall_seconds = wall.elapsed_s();
+  dev_stats.divergence_factor =
+      total_lane_s > 0.0 ? total_warp_s * dev_.warp_size / total_lane_s : 1.0;
+}
+
+void gpu_simulator::run_scalar(cwcsim::event_sink& sink,
+                               cwcsim::run_report& report) {
   util::stopwatch wall;
   report.device.emplace();
   cwcsim::run_report::device_stats& dev_stats = *report.device;

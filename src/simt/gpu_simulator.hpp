@@ -30,6 +30,13 @@ class gpu_simulator {
   /// Path-decoherence time for the divergence model (see simt::gpu_params).
   void set_coherence_time(double t) noexcept { coherence_time_ = t; }
 
+  /// Lanes per batch engine. > 1 routes tree models without custom laws
+  /// through the SoA batch engine (cwc/batch/batch_engine.hpp): each
+  /// kernel advances whole batches in lockstep, with the same per-lane
+  /// virtual-time accounting and bit-identical results. Unbatchable models
+  /// (flat networks, custom laws) silently keep scalar lanes.
+  void set_batch_width(std::size_t w) noexcept { batch_width_ = w; }
+
   /// Execute the whole campaign as a sequence of lockstep kernels and run
   /// the standard analysis pipeline on the cuts (batch wrapper over the
   /// streaming form below).
@@ -44,11 +51,15 @@ class gpu_simulator {
   void run(cwcsim::event_sink& sink, cwcsim::run_report& report);
 
  private:
+  void run_scalar(cwcsim::event_sink& sink, cwcsim::run_report& report);
+  void run_batched(cwcsim::event_sink& sink, cwcsim::run_report& report);
+
   cwcsim::model_ref model_;
   cwcsim::sim_config cfg_;
   device_spec dev_;
   double ns_per_step_;  ///< calibration for lane-time accounting
   double coherence_time_ = 25.0;
+  std::size_t batch_width_ = 0;
 };
 
 }  // namespace simt

@@ -83,10 +83,21 @@ TEST(Session, OneProgramThreeBackendsBitExactStreams) {
   const auto mc = run_on(cwcsim::multicore{});
   const auto dc = run_on(cwcsim::distributed{3, 2});
   const auto gc = run_on(cwcsim::gpu{simt::devices::tesla_k40()});
+  // The batched deployments (SoA lockstep lanes) must produce the exact
+  // same stream: lane exactness makes batching a scheduling detail.
+  const auto mb = run_on(cwcsim::multicore{/*batch_width=*/4});
+  const auto gb =
+      run_on(cwcsim::gpu{simt::devices::tesla_k40(), 25.0, /*batch_width=*/5});
 
   expect_windows_bitexact(mc.result.windows, batch.windows);
   expect_windows_bitexact(dc.result.windows, batch.windows);
   expect_windows_bitexact(gc.result.windows, batch.windows);
+  expect_windows_bitexact(mb.result.windows, batch.windows);
+  expect_windows_bitexact(gb.result.windows, batch.windows);
+  EXPECT_EQ(mb.result.completions.size(), cfg.num_trajectories);
+  EXPECT_EQ(gb.result.completions.size(), cfg.num_trajectories);
+  ASSERT_TRUE(gb.device.has_value());
+  EXPECT_GT(gb.device->kernels, 0u);
 
   EXPECT_EQ(mc.backend, "multicore");
   EXPECT_EQ(dc.backend, "distributed");
@@ -181,9 +192,15 @@ TEST_P(session_stop_test, RequestStopMidRunYieldsPartialReport) {
 
 INSTANTIATE_TEST_SUITE_P(
     Backends, session_stop_test,
-    ::testing::Values(cwcsim::backend{cwcsim::multicore{}},
-                      cwcsim::backend{cwcsim::distributed{2, 2}},
-                      cwcsim::backend{cwcsim::gpu{simt::devices::laptop_gpu()}}));
+    ::testing::Values(
+        cwcsim::backend{cwcsim::multicore{}},
+        cwcsim::backend{cwcsim::distributed{2, 2}},
+        cwcsim::backend{cwcsim::gpu{simt::devices::laptop_gpu()}},
+        // Batched deployments: stop must be honoured at the quantum
+        // (kernel) boundary, leaving a partial but ordered stream.
+        cwcsim::backend{cwcsim::multicore{/*batch_width=*/4}},
+        cwcsim::backend{cwcsim::gpu{simt::devices::laptop_gpu(), 25.0,
+                                    /*batch_width=*/4}}));
 
 TEST(Session, StopBeforeStartDrainsImmediately) {
   const auto m = models::make_neurospora_cwc({});
