@@ -8,4 +8,7 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j
 cd build
-exec ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" "$@"
+# --timeout turns a distributed-runtime deadlock into a failed test
+# instead of a hung run.
+exec ctest --output-on-failure --timeout 120 \
+  -j "$(nproc 2>/dev/null || echo 4)" "$@"

@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/events.hpp"
@@ -69,6 +70,12 @@ struct distributed {
   unsigned num_hosts = 2;
   unsigned workers_per_host = 2;
   dist::net_params network{};
+  /// Opt out of elastic scheduling: partition trajectories statically in
+  /// contiguous blocks at start-of-run (the pre-elastic behaviour). The
+  /// default pull-based elastic scheduler produces bit-identical results
+  /// while tolerating slow and failed hosts; static_partition exists for
+  /// comparison benchmarks and cannot survive a host failure.
+  bool static_partition = false;
 };
 
 /// Run the simulation farm as lockstep kernels on the SIMT device model
@@ -114,6 +121,18 @@ struct run_report {
     /// Compiled-model frames shipped master -> hosts, once per run (0 when
     /// the model fell back to in-process sharing).
     double model_bytes = 0.0;
+    // ---- elastic-scheduling honesty counters (0 under static) ----
+    std::uint64_t grants = 0;    ///< quantum grants the master issued
+    std::uint64_t reissued = 0;  ///< grants beyond a trajectory's first
+    /// Quantum results the master discarded as duplicate/stale (late
+    /// frames from superseded executions, or gap frames after a loss).
+    /// Accepted quanta are exactly-once; this is the re-execution cost.
+    std::uint64_t duplicate_quanta = 0;
+    std::uint64_t messages_dropped = 0;  ///< lost to the seeded drop stream
+    /// Quanta ACCEPTED per host — observed throughput, honest under
+    /// elasticity (re-issued and duplicate-discarded work never counts
+    /// twice). Empty under static scheduling.
+    std::vector<std::uint64_t> host_quanta;
   };
   struct device_stats {
     double device_seconds = 0.0;     ///< modeled kernel time (virtual)

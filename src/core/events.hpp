@@ -17,6 +17,9 @@ struct progress {
   std::uint64_t trajectories_done = 0;
   std::uint64_t trajectories_total = 0;
   std::uint64_t windows_emitted = 0;
+  /// Quantum grants re-issued by an elastic scheduler (straggler deadline
+  /// expiry or host failure). 0 on non-elastic backends and healthy runs.
+  std::uint64_t quanta_reissued = 0;
 };
 
 /// What a backend driver pushes results into while running. Implementations
@@ -38,6 +41,13 @@ class event_sink {
   /// True once cancellation was requested; drivers finish the current
   /// quantum/kernel, stop scheduling new work, and drain.
   virtual bool stop_requested() const noexcept = 0;
+
+  /// Elastic-scheduling telemetry: the scheduler re-issued `trajectory`'s
+  /// remaining quanta starting at `from_quantum` (straggler deadline
+  /// expired, or the owning host died). Informational — results stay
+  /// exactly-once regardless. Default: ignore.
+  virtual void quantum_reissued(std::uint64_t /*trajectory*/,
+                                std::uint64_t /*from_quantum*/) {}
 };
 
 /// event_sink that simply collects the stream — used by the legacy batch

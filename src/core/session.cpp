@@ -51,6 +51,7 @@ struct session::impl final : event_sink {
   std::mutex deliver_mu;                ///< serializes subscriber delivery
   std::vector<window_summary> windows;  ///< the collected ordered stream
   std::uint64_t completions_seen = 0;
+  std::uint64_t reissued_seen = 0;  ///< elastic re-issue events observed
 
   std::atomic<bool> stop{false};
   std::atomic<bool> launched{false};
@@ -88,12 +89,20 @@ struct session::impl final : event_sink {
     return stop.load(std::memory_order_relaxed);
   }
 
+  void quantum_reissued(std::uint64_t /*trajectory*/,
+                        std::uint64_t /*from_quantum*/) override {
+    const std::lock_guard<std::mutex> lock(deliver_mu);
+    ++reissued_seen;
+    notify_progress();
+  }
+
   void notify_progress() {
     if (!progress_cb) return;
     progress p;
     p.trajectories_done = completions_seen;
     p.trajectories_total = cfg.num_trajectories;
     p.windows_emitted = windows.size();
+    p.quanta_reissued = reissued_seen;
     progress_cb(p);
   }
 

@@ -48,6 +48,9 @@ void validate(const sim_config& cfg, const backend& b) {
       if (d.network.bytes_per_s < 0.0)
         throw config_error("distributed.network.bytes_per_s",
                            "negative network bandwidth");
+      if (d.network.drop_prob < 0.0 || d.network.drop_prob >= 1.0)
+        throw config_error("distributed.network.drop_prob",
+                           "drop probability must be in [0, 1)");
     }
     void operator()(const gpu& g) const {
       if (g.device.warp_size == 0)

@@ -10,6 +10,8 @@ std::unique_ptr<backend_driver> make_distributed_driver(const model_ref& model,
   dc.num_hosts = b.num_hosts;
   dc.workers_per_host = b.workers_per_host;
   dc.network = b.network;
+  dc.scheduling = b.static_partition ? dist::schedule_mode::static_block
+                                     : dist::schedule_mode::elastic;
   return std::make_unique<dist::cluster_driver>(model, std::move(dc));
 }
 

@@ -4,6 +4,15 @@
 
 namespace dist {
 
+namespace {
+
+std::chrono::steady_clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
 void net_channel::add_writer() {
   std::lock_guard<std::mutex> lk(mu_);
   ++writers_;
@@ -17,21 +26,30 @@ void net_channel::close_writer() {
 
 void net_channel::send(byte_buffer msg) {
   std::lock_guard<std::mutex> lk(mu_);
+
+  // Loss model: one draw per send from the seeded stream, so a given send
+  // sequence loses the same messages on every run. drop_prob == 0 (the
+  // default) never draws — bit-exact with the lossless channel.
+  if (params_.drop_prob > 0.0 &&
+      drop_rng_.next_uniform() < params_.drop_prob) {
+    ++dropped_messages_;
+    dropped_bytes_ += msg.size();
+    return;
+  }
+
   const auto now = clock::now();
 
   // Serialisation occupies the link for size/bandwidth seconds; messages
   // queue behind whatever the link is still transmitting.
   auto start = now > link_free_at_ ? now : link_free_at_;
   if (params_.bytes_per_s > 0.0) {
-    const auto tx = std::chrono::duration_cast<clock::duration>(
-        std::chrono::duration<double>(static_cast<double>(msg.size()) /
-                                      params_.bytes_per_s));
+    const auto tx = to_duration(static_cast<double>(msg.size()) /
+                                params_.bytes_per_s);
     link_free_at_ = start + tx;
   } else {
     link_free_at_ = start;
   }
-  const auto latency = std::chrono::duration_cast<clock::duration>(
-      std::chrono::duration<double>(params_.latency_s));
+  const auto latency = to_duration(params_.latency_s);
 
   ++messages_;
   bytes_ += msg.size();
@@ -39,11 +57,7 @@ void net_channel::send(byte_buffer msg) {
   cv_.notify_one();
 }
 
-std::optional<byte_buffer> net_channel::recv() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [this] { return !q_.empty() || writers_ == 0; });
-  if (q_.empty()) return std::nullopt;
-
+byte_buffer net_channel::take_front(std::unique_lock<std::mutex>& lk) {
   in_flight m = std::move(q_.front());
   q_.pop_front();
   lk.unlock();
@@ -51,6 +65,37 @@ std::optional<byte_buffer> net_channel::recv() {
   // Model the in-flight delay outside the lock so senders are not blocked.
   std::this_thread::sleep_until(m.deliver_at);
   return std::move(m.payload);
+}
+
+std::optional<byte_buffer> net_channel::recv() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return !q_.empty() || writers_ == 0; });
+  if (q_.empty()) return std::nullopt;
+  return take_front(lk);
+}
+
+std::optional<byte_buffer> net_channel::recv_for(double timeout_s) {
+  const auto deadline = clock::now() + to_duration(timeout_s);
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (!q_.empty()) {
+      // Delivery times are monotone in send order (one link), so if the
+      // head is not deliverable by the deadline, nothing behind it is.
+      if (q_.front().deliver_at > deadline) return std::nullopt;
+      return take_front(lk);
+    }
+    if (writers_ == 0) return std::nullopt;
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      if (!q_.empty() && q_.front().deliver_at <= deadline)
+        return take_front(lk);
+      return std::nullopt;
+    }
+  }
+}
+
+bool net_channel::drained() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return writers_ == 0 && q_.empty();
 }
 
 std::uint64_t net_channel::messages_sent() const {
@@ -61,6 +106,16 @@ std::uint64_t net_channel::messages_sent() const {
 std::uint64_t net_channel::bytes_sent() const {
   std::lock_guard<std::mutex> lk(mu_);
   return bytes_;
+}
+
+std::uint64_t net_channel::messages_dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_messages_;
+}
+
+std::uint64_t net_channel::bytes_dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_bytes_;
 }
 
 }  // namespace dist

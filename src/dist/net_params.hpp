@@ -4,11 +4,20 @@
 // the channel machinery.
 #pragma once
 
+#include <cstdint>
+
 namespace dist {
 
 struct net_params {
   double latency_s = 0.0;    ///< one-way propagation delay
   double bytes_per_s = 0.0;  ///< link bandwidth; 0 disables throttling
+  /// Probability that a message is silently lost in transit. Drops are
+  /// drawn from a deterministic stream seeded by `drop_seed`, so a given
+  /// send sequence loses the same messages on every run. The default 0.0
+  /// never draws from the stream at all — the channel is bit-exact with
+  /// the lossless behaviour it had before loss modeling existed.
+  double drop_prob = 0.0;
+  std::uint64_t drop_seed = 0x5EEDD1CEULL;  ///< loss-stream seed
 };
 
 }  // namespace dist

@@ -57,6 +57,69 @@ cwcsim::quantum_record read_quantum_record(archive_reader& r) {
   return q;
 }
 
+void write_work_request(archive_writer& w, const work_request& rq) {
+  w.put<std::uint32_t>(rq.host);
+  w.put<std::uint32_t>(rq.worker);
+}
+
+work_request read_work_request(archive_reader& r) {
+  work_request rq;
+  rq.host = r.get<std::uint32_t>();
+  rq.worker = r.get<std::uint32_t>();
+  return rq;
+}
+
+void write_work_grant(archive_writer& w, const work_grant& g) {
+  w.put<std::uint64_t>(g.trajectory_id);
+  w.put<std::uint64_t>(g.resume_quantum);
+}
+
+work_grant read_work_grant(archive_reader& r) {
+  work_grant g;
+  g.trajectory_id = r.get<std::uint64_t>();
+  g.resume_quantum = r.get<std::uint64_t>();
+  return g;
+}
+
+void write_quantum_result(archive_writer& w, const quantum_result& q) {
+  put_schema_header(w);
+  w.put<std::uint32_t>(q.host);
+  w.put<std::uint64_t>(q.trajectory_id);
+  w.put<std::uint64_t>(q.quantum_index);
+  w.put<double>(q.time);
+  w.put<std::uint64_t>(q.steps);
+  w.put<std::uint8_t>(q.finished ? 1 : 0);
+  w.put<std::uint64_t>(q.samples.size());
+  for (const auto& s : q.samples) {
+    w.put<double>(s.time);
+    w.put_vector<double>(s.values);
+  }
+  w.put<std::uint8_t>(q.has_record ? 1 : 0);
+  if (q.has_record) write_quantum_record(w, q.record);
+}
+
+quantum_result read_quantum_result(archive_reader& r) {
+  check_schema_header(r);
+  quantum_result q;
+  q.host = r.get<std::uint32_t>();
+  q.trajectory_id = r.get<std::uint64_t>();
+  q.quantum_index = r.get<std::uint64_t>();
+  q.time = r.get<double>();
+  q.steps = r.get<std::uint64_t>();
+  q.finished = r.get<std::uint8_t>() != 0;
+  const auto n = r.get<std::uint64_t>();
+  q.samples.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    cwc::trajectory_sample s;
+    s.time = r.get<double>();
+    s.values = r.get_vector<double>();
+    q.samples.push_back(std::move(s));
+  }
+  q.has_record = r.get<std::uint8_t>() != 0;
+  if (q.has_record) q.record = read_quantum_record(r);
+  return q;
+}
+
 byte_buffer encode_sample_batch(const cwcsim::sample_batch& b) {
   archive_writer w;
   write_sample_batch(w, b);
@@ -77,6 +140,17 @@ byte_buffer encode_task_done(const cwcsim::task_done& d) {
 cwcsim::task_done decode_task_done(const byte_buffer& bytes) {
   archive_reader r(bytes);
   return read_task_done(r);
+}
+
+byte_buffer encode_quantum_result(const quantum_result& q) {
+  archive_writer w;
+  write_quantum_result(w, q);
+  return w.take();
+}
+
+quantum_result decode_quantum_result(const byte_buffer& bytes) {
+  archive_reader r(bytes);
+  return read_quantum_result(r);
 }
 
 }  // namespace dist

@@ -4,6 +4,11 @@
 // compiled-model codec (ship the model once per run).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "dist/dist.hpp"
 #include "models/models.hpp"
 #include "util/stopwatch.hpp"
@@ -94,6 +99,136 @@ TEST(ArchiveEdge, CorruptVectorLengthThrows) {
   EXPECT_THROW(r.get_vector<double>(), std::runtime_error);
 }
 
+// ---------------------- deadlock-proof channel plumbing -------------------
+
+TEST(NetChannelLiveness, WriterGuardClosesOnException) {
+  // Regression: a producer that throws before close_writer() used to leave
+  // recv() blocked forever. writer_guard closes on unwind, so the consumer
+  // drains cleanly instead of hanging.
+  dist::net_channel ch;
+  ch.add_writer();  // consumer-side sentinel: recv() must wait for the
+                    // producer rather than seeing an empty open channel
+  std::thread producer([&] {
+    try {
+      dist::writer_guard guard(ch);
+      ch.send({std::byte{1}});
+      throw std::runtime_error("host died");
+    } catch (const std::runtime_error&) {
+    }
+  });
+  EXPECT_TRUE(ch.recv().has_value());
+  producer.join();
+  ch.close_writer();  // without the guard, the producer's writer slot
+                      // would still be open here and recv() would hang
+  EXPECT_FALSE(ch.recv().has_value());
+}
+
+TEST(NetChannelLiveness, WriterGuardEarlyCloseIsIdempotent) {
+  dist::net_channel ch;
+  {
+    dist::writer_guard guard(ch);
+    guard.close();  // destructor must not close a second time
+  }
+  EXPECT_TRUE(ch.drained());
+  EXPECT_FALSE(ch.recv().has_value());
+}
+
+TEST(NetChannelLiveness, RecvForTimesOutOnSilentWriter) {
+  dist::net_channel ch;
+  ch.add_writer();  // never sends, never closes: a crashed host
+  util::stopwatch sw;
+  EXPECT_FALSE(ch.recv_for(0.05).has_value());
+  EXPECT_GE(sw.elapsed_s(), 0.04);
+  EXPECT_FALSE(ch.drained());  // timeout, not closure
+
+  ch.close_writer();
+  EXPECT_FALSE(ch.recv_for(0.05).has_value());
+  EXPECT_TRUE(ch.drained());  // now it really is over
+}
+
+TEST(NetChannelLiveness, RecvForDeliversPendingMessage) {
+  dist::net_channel ch;
+  ch.add_writer();
+  dist::archive_writer w;
+  w.put<int>(99);
+  ch.send(w.take());
+  const auto m = ch.recv_for(1.0);
+  ASSERT_TRUE(m.has_value());
+  dist::archive_reader r(*m);
+  EXPECT_EQ(r.get<int>(), 99);
+  ch.close_writer();
+}
+
+// --------------------------- seeded message loss --------------------------
+
+TEST(NetChannelLoss, SeededDropIsDeterministic) {
+  dist::net_params p;
+  p.drop_prob = 0.3;
+  p.drop_seed = 1234;
+
+  const auto run = [&p] {
+    dist::net_channel ch(p);
+    ch.add_writer();
+    for (int i = 0; i < 200; ++i) {
+      dist::archive_writer w;
+      w.put<int>(i);
+      ch.send(w.take());
+    }
+    ch.close_writer();
+    std::vector<int> got;
+    while (auto m = ch.recv()) {
+      dist::archive_reader r(*m);
+      got.push_back(r.get<int>());
+    }
+    return std::make_pair(got, ch.messages_dropped());
+  };
+
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);  // identical survivors, identical order
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.second, 0u);  // 200 draws at p=0.3 always lose some
+  EXPECT_EQ(a.first.size() + a.second, 200u);  // every message accounted for
+}
+
+TEST(NetChannelLoss, DifferentSeedsDropDifferently) {
+  const auto survivors = [](std::uint64_t seed) {
+    dist::net_params p;
+    p.drop_prob = 0.5;
+    p.drop_seed = seed;
+    dist::net_channel ch(p);
+    ch.add_writer();
+    for (int i = 0; i < 64; ++i) {
+      dist::archive_writer w;
+      w.put<int>(i);
+      ch.send(w.take());
+    }
+    ch.close_writer();
+    std::vector<int> got;
+    while (auto m = ch.recv()) {
+      dist::archive_reader r(*m);
+      got.push_back(r.get<int>());
+    }
+    return got;
+  };
+  EXPECT_NE(survivors(1), survivors(2));
+}
+
+TEST(NetChannelLoss, ZeroDropProbNeverDraws) {
+  // The default drop_prob = 0.0 takes the no-loss fast path: nothing is
+  // drawn from the rng stream and every message is delivered, keeping
+  // lossless runs bit-exact with pre-loss-model builds.
+  dist::net_channel ch(dist::net_params{});
+  ch.add_writer();
+  for (int i = 0; i < 100; ++i) ch.send({std::byte{1}});
+  ch.close_writer();
+  int got = 0;
+  while (ch.recv().has_value()) ++got;
+  EXPECT_EQ(got, 100);
+  EXPECT_EQ(ch.messages_dropped(), 0u);
+  EXPECT_EQ(ch.bytes_dropped(), 0u);
+}
+
 // ------------------------- schema-versioned frames ------------------------
 
 TEST(ArchiveSchema, HeaderRoundTrips) {
@@ -125,6 +260,65 @@ TEST(ArchiveSchema, MismatchThrowsTypedError) {
   // And it stays catchable as the generic archive error.
   dist::archive_reader r2(bytes);
   EXPECT_THROW(dist::check_schema_header(r2), std::runtime_error);
+}
+
+// ----------------------- elastic control-plane frames ---------------------
+
+TEST(WireElastic, WorkRequestAndGrantRoundTrip) {
+  dist::archive_writer w;
+  dist::write_work_request(w, dist::work_request{3, 7});
+  dist::write_work_grant(w, dist::work_grant{123456789012ull, 42});
+  const auto bytes = w.take();
+
+  dist::archive_reader r(bytes);
+  const auto rq = dist::read_work_request(r);
+  EXPECT_EQ(rq.host, 3u);
+  EXPECT_EQ(rq.worker, 7u);
+  const auto g = dist::read_work_grant(r);
+  EXPECT_EQ(g.trajectory_id, 123456789012ull);
+  EXPECT_EQ(g.resume_quantum, 42u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(WireElastic, QuantumResultRoundTrip) {
+  dist::quantum_result q;
+  q.host = 2;
+  q.trajectory_id = 11;
+  q.quantum_index = 4;
+  q.time = 7.25;
+  q.steps = 98765;
+  q.finished = true;
+  cwc::trajectory_sample s;
+  s.time = 7.0;
+  s.values = {1.0, 2.0, 3.0};
+  q.samples.push_back(s);
+  q.has_record = true;
+  q.record.trajectory_id = 11;
+  q.record.quantum_index = 4;
+  q.record.ssa_steps = 17;
+
+  const auto back = dist::decode_quantum_result(dist::encode_quantum_result(q));
+  EXPECT_EQ(back.host, 2u);
+  EXPECT_EQ(back.trajectory_id, 11u);
+  EXPECT_EQ(back.quantum_index, 4u);
+  EXPECT_DOUBLE_EQ(back.time, 7.25);
+  EXPECT_EQ(back.steps, 98765u);
+  EXPECT_TRUE(back.finished);
+  ASSERT_EQ(back.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.samples[0].time, 7.0);
+  EXPECT_EQ(back.samples[0].values, s.values);
+  ASSERT_TRUE(back.has_record);
+  EXPECT_EQ(back.record.trajectory_id, 11u);
+  EXPECT_EQ(back.record.ssa_steps, 17u);
+}
+
+TEST(WireElastic, QuantumResultIsSchemaVersioned) {
+  // Checkpoint frames are the resume format — a frame from a foreign build
+  // must be rejected, not misparsed.
+  auto frame = dist::encode_quantum_result(dist::quantum_result{});
+  frame[0] = std::byte{0x7F};
+  EXPECT_THROW(dist::decode_quantum_result(frame),
+               dist::schema_mismatch_error);
 }
 
 // ------------------------------ model codec -------------------------------

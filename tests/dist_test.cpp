@@ -3,7 +3,11 @@
 // of the distributed simulator with the shared-memory one.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
 #include <thread>
+#include <tuple>
+#include <vector>
 
 #include "dist/dist.hpp"
 #include "models/models.hpp"
@@ -210,5 +214,186 @@ TEST(DistributedSimulator, RejectsMoreHostsThanTrajectories) {
   dc.num_hosts = 5;
   EXPECT_THROW(dist::distributed_simulator(net, dc), util::precondition_error);
 }
+
+// ------------------- elastic scheduling & fault injection -----------------
+
+cwcsim::sim_config fault_base_config() {
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = 12;
+  cfg.t_end = 6.0;
+  cfg.sample_period = 0.5;
+  cfg.quantum = 1.5;
+  cfg.kmeans_k = 0;
+  cfg.window_size = 4;
+  cfg.window_slide = 4;
+  return cfg;
+}
+
+void expect_windows_bit_exact(const std::vector<cwcsim::window_summary>& a,
+                              const std::vector<cwcsim::window_summary>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].first_sample, b[i].first_sample);
+    ASSERT_EQ(a[i].cuts.size(), b[i].cuts.size());
+    for (std::size_t c = 0; c < a[i].cuts.size(); ++c) {
+      const auto& x = a[i].cuts[c];
+      const auto& y = b[i].cuts[c];
+      ASSERT_EQ(x.moments.size(), y.moments.size());
+      for (std::size_t d = 0; d < x.moments.size(); ++d) {
+        ASSERT_DOUBLE_EQ(x.moments[d].mean(), y.moments[d].mean());
+        ASSERT_DOUBLE_EQ(x.moments[d].variance(), y.moments[d].variance());
+      }
+    }
+  }
+}
+
+TEST(DistributedElastic, StaticPartitionMatchesElasticExactly) {
+  const auto net = models::make_birth_death({});
+  const auto cfg = fault_base_config();
+
+  dist::dist_config elastic;
+  elastic.base = cfg;
+  elastic.num_hosts = 4;
+  elastic.workers_per_host = 1;
+  elastic.network.latency_s = 1e-4;
+
+  dist::dist_config fixed = elastic;
+  fixed.scheduling = dist::schedule_mode::static_block;
+
+  const auto er = dist::distributed_simulator(net, elastic).run();
+  const auto sr = dist::distributed_simulator(net, fixed).run();
+  expect_windows_bit_exact(er.result.windows, sr.result.windows);
+
+  // Elastic honesty counters: one grant per trajectory in a healthy run
+  // is the floor (duplicate requests may add more), and every accepted
+  // quantum is attributed to exactly one host.
+  EXPECT_GE(er.grants, cfg.num_trajectories);
+  std::uint64_t quanta = 0;
+  for (const auto& d : er.result.completions) quanta += d.quanta;
+  std::uint64_t accepted = 0;
+  ASSERT_EQ(er.host_quanta.size(), elastic.num_hosts);
+  for (const auto q : er.host_quanta) accepted += q;
+  EXPECT_EQ(accepted, quanta);
+  // The static path reports no elastic counters.
+  EXPECT_EQ(sr.grants, 0u);
+  EXPECT_TRUE(sr.host_quanta.empty());
+}
+
+/// Kill 1 of 4 hosts at {25, 50, 75}% of its expected share of simulated
+/// time, under drop_prob in {0, 0.05}: the elastic scheduler must finish
+/// with results bit-identical to the no-fault run and exactly-once
+/// completion accounting.
+class fault_matrix
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(fault_matrix, SurvivesHostDeathBitExactly) {
+  const auto [progress_frac, drop_prob] = GetParam();
+  const auto net = models::make_birth_death({});
+  const auto cfg = fault_base_config();
+
+  dist::dist_config dc;
+  dc.base = cfg;
+  dc.num_hosts = 4;
+  dc.workers_per_host = 1;
+  dc.network.latency_s = 1e-4;
+  dc.reissue_after_s = 0.05;  // fast failure detection keeps the test quick
+  dc.master_tick_s = 0.01;
+  dc.worker_retry_s = 0.02;
+
+  // Reference: the same elastic deployment with no faults at all.
+  const auto reference = dist::distributed_simulator(net, dc).run();
+
+  dc.network.drop_prob = drop_prob;
+  dist::distributed_simulator sim(net, dc);
+  // A host's fair share of the campaign is N * t_end / num_hosts simulated
+  // seconds; kill host 1 partway through its share.
+  const double share =
+      static_cast<double>(cfg.num_trajectories) * cfg.t_end / dc.num_hosts;
+  sim.kill_host(1, progress_frac * share);
+  const auto dr = sim.run();
+
+  // Bit-exact results despite the death (and the message loss).
+  expect_windows_bit_exact(reference.result.windows, dr.result.windows);
+
+  // Exactly-once completion accounting: every trajectory reported once.
+  ASSERT_EQ(dr.result.completions.size(), cfg.num_trajectories);
+  std::vector<int> seen(cfg.num_trajectories, 0);
+  for (const auto& d : dr.result.completions) {
+    ASSERT_LT(d.trajectory_id, cfg.num_trajectories);
+    ++seen[static_cast<std::size_t>(d.trajectory_id)];
+  }
+  for (const auto s : seen) EXPECT_EQ(s, 1);
+
+  // No double-counting: accepted quanta match the completions' totals.
+  std::uint64_t quanta = 0;
+  for (const auto& d : dr.result.completions) quanta += d.quanta;
+  std::uint64_t accepted = 0;
+  for (const auto q : dr.host_quanta) accepted += q;
+  EXPECT_EQ(accepted, quanta);
+
+  // The dead host's in-flight work was re-issued, and the master saw it.
+  EXPECT_GE(dr.reissued, 1u);
+  EXPECT_GE(dr.grants, cfg.num_trajectories + dr.reissued);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KillTimesAndLoss, fault_matrix,
+    ::testing::Combine(::testing::Values(0.25, 0.5, 0.75),
+                       ::testing::Values(0.0, 0.05)));
+
+TEST(DistributedFaults, AllHostsDeadFailsCleanly) {
+  const auto net = models::make_birth_death({});
+  dist::dist_config dc;
+  dc.base = fault_base_config();
+  dc.num_hosts = 2;
+  dc.workers_per_host = 1;
+  dc.reissue_after_s = 0.05;
+  dc.master_tick_s = 0.01;
+  dist::distributed_simulator sim(net, dc);
+  sim.kill_host(0, 1.0).kill_host(1, 1.0);  // both die almost immediately
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(DistributedFaults, StaticSchedulingRejectsKills) {
+  const auto net = models::make_birth_death({});
+  dist::dist_config dc;
+  dc.base = fault_base_config();
+  dc.scheduling = dist::schedule_mode::static_block;
+  dist::distributed_simulator sim(net, dc);
+  EXPECT_THROW(sim.kill_host(0, 1.0), util::precondition_error);
+  dc.kills.push_back(dist::kill_spec{0, 1.0});
+  EXPECT_THROW(dist::distributed_simulator(net, dc),
+               util::precondition_error);
+}
+
+/// Regression for the deadlock bug: a host whose engine throws used to
+/// leave the master blocked in recv() forever (the dying worker never
+/// called close_writer()). With writer_guard + error capture the run must
+/// surface the worker's exception — under BOTH scheduling modes.
+class throwing_host_test
+    : public ::testing::TestWithParam<dist::schedule_mode> {};
+
+TEST_P(throwing_host_test, YieldsErrorNotHang) {
+  cwc::reaction_network net;
+  const auto a = net.declare_species("A");
+  net.set_initial(a, 100);
+  net.add_reaction("boom", {{a, 1}}, {},
+                   cwc::rate_law::custom([](const cwc::rate_ctx&) -> double {
+                     throw std::runtime_error("engine blew up");
+                   }));
+
+  dist::dist_config dc;
+  dc.base = fault_base_config();
+  dc.num_hosts = 2;
+  dc.workers_per_host = 2;
+  dc.scheduling = GetParam();
+  dc.master_tick_s = 0.01;
+  dist::distributed_simulator sim(net, dc);
+  EXPECT_THROW(sim.run(), std::runtime_error);  // finishes, never hangs
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, throwing_host_test,
+                         ::testing::Values(dist::schedule_mode::elastic,
+                                           dist::schedule_mode::static_block));
 
 }  // namespace
