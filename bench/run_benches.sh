@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # Engine benchmark runner: executes the google-benchmark microbenchmarks
-# (micro_engine, micro_ff) plus the stream_latency harness and merges their
-# results into BENCH_engine.json at the repo root, the tracked record of the
-# engine's perf trajectory.
+# (micro_engine, micro_ff) plus the stream_latency and svc_throughput
+# harnesses and merges their results into BENCH_engine.json at the repo
+# root, the tracked record of the engine's perf trajectory.
 #
 # Usage:
 #   ./bench/run_benches.sh [build-dir] [min-time]
@@ -57,6 +57,14 @@ if [ -x "$BUILD_DIR/bench/stream_latency" ]; then
     --t-end "${STREAM_T_END:-30}" > "$TMP/stream_latency.txt" 2>&1 || true
 fi
 
+# svc_throughput is also bespoke but emits google-benchmark-shaped JSON
+# (--json), so it merges through the same loop as the microbenchmarks.
+if [ -x "$BUILD_DIR/bench/svc_throughput" ]; then
+  "$BUILD_DIR/bench/svc_throughput" --json \
+    --trajectories "${SVC_TRAJECTORIES:-16}" \
+    --t-end "${SVC_T_END:-20}" > "$TMP/svc_throughput.json" || true
+fi
+
 python3 - "$TMP" "$MIN_TIME" "$OUT" <<'PY'
 import json
 import pathlib
@@ -65,7 +73,7 @@ import sys
 tmp, min_time, out = pathlib.Path(sys.argv[1]), sys.argv[2], sys.argv[3]
 results = []
 
-for name in ("micro_engine.json", "micro_ff.json"):
+for name in ("micro_engine.json", "micro_ff.json", "svc_throughput.json"):
     path = tmp / name
     if not path.exists():
         continue

@@ -1,0 +1,120 @@
+// Multi-tenant run-server throughput: quanta/s for one tenant owning the
+// pool vs eight tenants sharing it. The fair-share scheduler's overhead
+// shows up as the ratio between the two — the acceptance bar is that the
+// 8-tenant aggregate keeps >= 0.8x of the solo rate (the pool is the same;
+// only the DRR multiplexing and per-session analysis pipelines differ).
+//
+//   ./svc_throughput [--pool-workers 4] [--trajectories 16] [--t-end 20]
+//                    [--tenants 8] [--json]
+//
+// --json emits google-benchmark-shaped output so bench/run_benches.sh can
+// merge the numbers into BENCH_engine.json next to the microbenchmarks.
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/cwcsim.hpp"
+#include "models/models.hpp"
+#include "svc/svc.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+struct measurement {
+  std::uint64_t quanta = 0;   // quanta the server accepted
+  double wall_s = 0.0;        // spawn-to-join wall time
+  double quanta_per_sec() const { return wall_s > 0 ? quanta / wall_s : 0; }
+  double ns_per_quantum() const {
+    return quanta > 0 ? wall_s * 1e9 / static_cast<double>(quanta) : 0;
+  }
+};
+
+/// Run `tenants` concurrent campaigns of the same model/config on a fresh
+/// server and report aggregate accepted-quanta throughput.
+measurement run_tenants(std::size_t tenants, unsigned pool_workers,
+                        const cwc::model& model,
+                        const cwcsim::sim_config& cfg) {
+  svc::svc_config sc;
+  sc.pool_workers = pool_workers;
+  svc::run_server server(sc);
+
+  util::stopwatch sw;
+  std::vector<std::thread> clients;
+  clients.reserve(tenants);
+  for (std::size_t i = 0; i < tenants; ++i)
+    clients.emplace_back([&] {
+      auto session = cwcsim::run_builder()
+                         .model(model)
+                         .config(cfg)
+                         .backend(cwcsim::service{&server})
+                         .open();
+      (void)session.wait();
+    });
+  for (auto& c : clients) c.join();
+
+  measurement m;
+  m.wall_s = sw.elapsed_s();
+  m.quanta = server.stats().quanta_accepted;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::cli cli(argc, argv);
+  const auto pool_workers =
+      static_cast<unsigned>(cli.get_int("pool-workers", 4));
+  const auto tenants = static_cast<std::size_t>(cli.get_int("tenants", 8));
+  const bool json = cli.get_bool("json", false);
+
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories =
+      static_cast<std::uint64_t>(cli.get_int("trajectories", 16));
+  cfg.t_end = cli.get_double("t-end", 20.0);
+  cfg.sample_period = 0.5;
+  cfg.quantum = 2.0;
+  cfg.stat_engines = 2;
+  cfg.window_size = 5;
+  cfg.window_slide = 5;
+  cfg.kmeans_k = 0;
+
+  const auto model = models::make_neurospora_cwc({});
+
+  const measurement solo = run_tenants(1, pool_workers, model, cfg);
+  const measurement multi = run_tenants(tenants, pool_workers, model, cfg);
+  const double ratio =
+      solo.quanta_per_sec() > 0 ? multi.quanta_per_sec() / solo.quanta_per_sec()
+                                : 0;
+
+  if (json) {
+    // google-benchmark JSON shape, consumed by bench/run_benches.sh.
+    std::printf(
+        "{\n"
+        "  \"benchmarks\": [\n"
+        "    {\"name\": \"svc_quanta_per_sec/tenants:1\", \"run_type\": "
+        "\"iteration\", \"items_per_second\": %.3f, \"real_time\": %.1f, "
+        "\"time_unit\": \"ns\"},\n"
+        "    {\"name\": \"svc_quanta_per_sec/tenants:%zu\", \"run_type\": "
+        "\"iteration\", \"items_per_second\": %.3f, \"real_time\": %.1f, "
+        "\"time_unit\": \"ns\"}\n"
+        "  ]\n"
+        "}\n",
+        solo.quanta_per_sec(), solo.ns_per_quantum(), tenants,
+        multi.quanta_per_sec(), multi.ns_per_quantum());
+    return 0;
+  }
+
+  std::printf("svc throughput, %u pool workers, %llu trajectories/tenant\n",
+              pool_workers,
+              static_cast<unsigned long long>(cfg.num_trajectories));
+  std::printf("  1 tenant : %8llu quanta in %6.2f s  -> %8.1f quanta/s\n",
+              static_cast<unsigned long long>(solo.quanta), solo.wall_s,
+              solo.quanta_per_sec());
+  std::printf("  %zu tenants: %8llu quanta in %6.2f s  -> %8.1f quanta/s\n",
+              tenants, static_cast<unsigned long long>(multi.quanta),
+              multi.wall_s, multi.quanta_per_sec());
+  std::printf("  aggregate/solo ratio: %.2f (acceptance: >= 0.80)\n", ratio);
+  return ratio >= 0.8 ? 0 : 1;
+}

@@ -29,6 +29,10 @@
 #include "simt/device.hpp"
 #include "util/check.hpp"
 
+namespace svc {
+class run_server;  // src/svc/run_server.hpp; linked via the umbrella lib
+}
+
 namespace cwcsim {
 
 // --------------------------------------------------------------- diagnostics
@@ -92,10 +96,26 @@ struct gpu {
   std::size_t batch_width = 0;
 };
 
+/// Run as one tenant of a shared svc::run_server: the model and config
+/// ship to the server as schema-versioned frames over the dist transport,
+/// quanta execute on the server's shared pool under deficit-weighted fair
+/// scheduling, and windows stream back under credit-based backpressure —
+/// bit-exact with a multicore run of the same (model, seed, config). The
+/// server must outlive the run.
+struct service {
+  svc::run_server* server = nullptr;
+  /// Fair-share weight under contention (relative quanta share).
+  double weight = 1.0;
+  /// Pending-window bound / initial credit grant (0 = server default).
+  std::uint64_t window_credits = 0;
+  /// Client-side downlink poll slice in seconds.
+  double tick_s = 0.01;
+};
+
 /// Where a run executes. Swap this one value to move the same model and
 /// sim_config between deployments. run_report::backend carries the chosen
 /// driver's name() after a run.
-using backend = std::variant<multicore, distributed, gpu>;
+using backend = std::variant<multicore, distributed, gpu, service>;
 
 // ----------------------------------------------------------------- validation
 
@@ -172,6 +192,9 @@ std::unique_ptr<backend_driver> make_distributed_driver(const model_ref& model,
 std::unique_ptr<backend_driver> make_gpu_driver(const model_ref& model,
                                                 const sim_config& cfg,
                                                 const gpu& b);
+std::unique_ptr<backend_driver> make_service_driver(const model_ref& model,
+                                                    const sim_config& cfg,
+                                                    const service& b);
 
 std::unique_ptr<backend_driver> make_driver(const model_ref& model,
                                             const sim_config& cfg,

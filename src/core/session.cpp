@@ -32,6 +32,9 @@ std::unique_ptr<backend_driver> make_driver(const model_ref& model,
     std::unique_ptr<backend_driver> operator()(const gpu& g) const {
       return make_gpu_driver(model, cfg, g);
     }
+    std::unique_ptr<backend_driver> operator()(const service& s) const {
+      return make_service_driver(model, cfg, s);
+    }
   };
   return std::visit(dispatch{model, cfg}, b);
 }
@@ -144,10 +147,18 @@ session& session::on_progress(std::function<void(const progress&)> cb) {
 void session::start() { p_->launch(); }
 
 void session::request_stop() noexcept {
+  // Idempotent and total: callable any number of times, from any thread,
+  // before start(), during the run, after wait(), and on a moved-from
+  // handle (where it is a no-op instead of a null dereference). The
+  // stored flag is just a relaxed atomic the backend polls, so a stop
+  // requested after completion is harmless.
+  if (p_ == nullptr) return;
   p_->stop.store(true, std::memory_order_relaxed);
 }
 
-bool session::started() const noexcept { return p_->launched.load(); }
+bool session::started() const noexcept {
+  return p_ != nullptr && p_->launched.load();
+}
 
 run_report session::wait() {
   util::expects(!p_->waited, "session::wait() may be called once");

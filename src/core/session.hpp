@@ -54,7 +54,9 @@ class session {
   void start();
 
   /// Cooperative cancellation: the backend stops scheduling new quanta and
-  /// drains. Safe from any thread, including subscribers.
+  /// drains. Safe from any thread, including subscribers. Idempotent, and
+  /// a no-op when the run already finished (even after wait()) or on a
+  /// moved-from handle — callers never need to guard a stop request.
   void request_stop() noexcept;
 
   bool started() const noexcept;

@@ -52,6 +52,18 @@ void validate(const sim_config& cfg, const backend& b) {
         throw config_error("distributed.network.drop_prob",
                            "drop probability must be in [0, 1)");
     }
+    void operator()(const service& s) const {
+      if (s.server == nullptr)
+        throw config_error("service.server", "service backend needs a server");
+      if (!(s.weight > 0.0))
+        throw config_error("service.weight", "weight must be positive");
+      if (!(s.tick_s > 0.0))
+        throw config_error("service.tick_s", "poll slice must be positive");
+      if (cfg.capture_trace)
+        throw config_error("capture_trace",
+                           "trace capture is not supported over the service "
+                           "backend (traces do not cross the wire)");
+    }
     void operator()(const gpu& g) const {
       if (g.device.warp_size == 0)
         throw config_error("gpu.device.warp_size", "warps need lanes");

@@ -15,15 +15,14 @@
 #include <type_traits>
 #include <vector>
 
+// The schema version constants live in the central registry
+// (dist/schema.hpp — the single bump point for every frame family);
+// archive.hpp only provides the header put/check machinery around them.
+#include "dist/schema.hpp"
+
 namespace dist {
 
 using byte_buffer = std::vector<std::byte>;
-
-/// Version byte of the framed-archive schema. Bump whenever a frame layout
-/// changes incompatibly (e.g. the compiled-model frame of
-/// dist/model_codec.hpp), so a host running older code rejects a newer
-/// frame with a typed error instead of decoding garbage.
-inline constexpr std::uint8_t archive_schema_version = 1;
 
 /// Thrown by check_schema_header() when a frame was produced under a
 /// different schema version than this build understands.

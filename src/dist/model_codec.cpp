@@ -301,6 +301,18 @@ byte_buffer encode_model(const cwcsim::model_ref& model) {
   return w.take();
 }
 
+std::uint64_t model_fingerprint(const byte_buffer& frame) noexcept {
+  // FNV-1a, 64-bit. Not cryptographic: the cache layer guards against the
+  // astronomically unlikely collision by comparing frames byte-for-byte on
+  // a hash hit before sharing an artifact.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::byte b : frame) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 std::shared_ptr<const cwc::compiled_model> decode_model(
     const byte_buffer& bytes) {
   archive_reader r(bytes);

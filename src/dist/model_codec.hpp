@@ -34,6 +34,14 @@ bool wire_encodable(const cwcsim::model_ref& model) noexcept;
 /// Precondition: wire_encodable(model).
 byte_buffer encode_model(const cwcsim::model_ref& model);
 
+/// Canonical 64-bit fingerprint of an encoded model frame (FNV-1a over the
+/// frame bytes). Because encode_model() is deterministic — symbol tables,
+/// rules, and terms serialize in declaration order and every numeric
+/// parameter round-trips bit-exactly — two model_refs hash equal iff their
+/// descriptions are identical. The run server keys its compiled_model
+/// cache on this: compile once per *model*, not per run.
+std::uint64_t model_fingerprint(const byte_buffer& frame) noexcept;
+
 /// Decode a frame produced by encode_model() and compile it. The returned
 /// artifact owns its decoded model. Throws schema_mismatch_error on a
 /// version mismatch, std::runtime_error on a malformed frame.

@@ -120,6 +120,89 @@ quantum_result read_quantum_result(archive_reader& r) {
   return q;
 }
 
+void write_window_summary(archive_writer& w, const cwcsim::window_summary& s) {
+  w.put<std::uint64_t>(s.first_sample);
+  w.put<std::uint64_t>(s.cuts.size());
+  for (const auto& c : s.cuts) {
+    w.put<std::uint64_t>(c.sample_index);
+    w.put<double>(c.time);
+    w.put<std::uint64_t>(c.moments.size());
+    for (const auto& m : c.moments) w.put<stats::welford_state>(m.snapshot());
+    w.put_vector(c.medians);
+    const auto& k = c.clusters;
+    w.put<std::uint64_t>(k.centroids.size());
+    for (const auto& centre : k.centroids) w.put_vector(centre);
+    w.put_vector(k.assignment);
+    w.put_vector(k.sizes);
+    w.put<double>(k.inertia);
+    w.put<std::uint32_t>(k.iterations);
+  }
+}
+
+cwcsim::window_summary read_window_summary(archive_reader& r) {
+  cwcsim::window_summary s;
+  s.first_sample = r.get<std::uint64_t>();
+  const auto n_cuts = r.get<std::uint64_t>();
+  s.cuts.reserve(static_cast<std::size_t>(n_cuts));
+  for (std::uint64_t i = 0; i < n_cuts; ++i) {
+    stats::cut_summary c;
+    c.sample_index = r.get<std::uint64_t>();
+    c.time = r.get<double>();
+    const auto n_moments = r.get<std::uint64_t>();
+    c.moments.reserve(static_cast<std::size_t>(n_moments));
+    for (std::uint64_t m = 0; m < n_moments; ++m)
+      c.moments.push_back(stats::welford::from_state(r.get<stats::welford_state>()));
+    c.medians = r.get_vector<double>();
+    const auto n_centroids = r.get<std::uint64_t>();
+    c.clusters.centroids.reserve(static_cast<std::size_t>(n_centroids));
+    for (std::uint64_t k = 0; k < n_centroids; ++k)
+      c.clusters.centroids.push_back(r.get_vector<double>());
+    c.clusters.assignment = r.get_vector<std::uint32_t>();
+    c.clusters.sizes = r.get_vector<std::uint64_t>();
+    c.clusters.inertia = r.get<double>();
+    c.clusters.iterations = r.get<std::uint32_t>();
+    s.cuts.push_back(std::move(c));
+  }
+  return s;
+}
+
+void write_sim_config(archive_writer& w, const cwcsim::sim_config& cfg) {
+  w.put<std::uint64_t>(cfg.num_trajectories);
+  w.put<double>(cfg.t_end);
+  w.put<double>(cfg.sample_period);
+  w.put<double>(cfg.quantum);
+  w.put<std::uint64_t>(cfg.seed);
+  w.put<std::uint32_t>(cfg.sim_workers);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(cfg.dispatch));
+  w.put<std::uint64_t>(cfg.worker_queue);
+  w.put<std::uint32_t>(cfg.stat_engines);
+  w.put<std::uint64_t>(cfg.window_size);
+  w.put<std::uint64_t>(cfg.window_slide);
+  w.put<std::uint32_t>(cfg.kmeans_k);
+  w.put<std::uint8_t>(cfg.capture_trace ? 1 : 0);
+}
+
+cwcsim::sim_config read_sim_config(archive_reader& r) {
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = r.get<std::uint64_t>();
+  cfg.t_end = r.get<double>();
+  cfg.sample_period = r.get<double>();
+  cfg.quantum = r.get<double>();
+  cfg.seed = r.get<std::uint64_t>();
+  cfg.sim_workers = r.get<std::uint32_t>();
+  const auto dispatch = r.get<std::uint8_t>();
+  if (dispatch > static_cast<std::uint8_t>(ff::out_policy::broadcast))
+    throw std::runtime_error("sim_config frame: unknown dispatch policy");
+  cfg.dispatch = static_cast<ff::out_policy>(dispatch);
+  cfg.worker_queue = static_cast<std::size_t>(r.get<std::uint64_t>());
+  cfg.stat_engines = r.get<std::uint32_t>();
+  cfg.window_size = static_cast<std::size_t>(r.get<std::uint64_t>());
+  cfg.window_slide = static_cast<std::size_t>(r.get<std::uint64_t>());
+  cfg.kmeans_k = r.get<std::uint32_t>();
+  cfg.capture_trace = r.get<std::uint8_t>() != 0;
+  return cfg;
+}
+
 byte_buffer encode_sample_batch(const cwcsim::sample_batch& b) {
   archive_writer w;
   write_sample_batch(w, b);

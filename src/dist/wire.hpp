@@ -7,6 +7,7 @@
 // only the in-flight quantum.
 #pragma once
 
+#include "core/config.hpp"
 #include "core/messages.hpp"
 #include "dist/archive.hpp"
 
@@ -82,6 +83,16 @@ work_grant read_work_grant(archive_reader& r);
 /// throws schema_mismatch_error on a frame from a foreign build.
 void write_quantum_result(archive_writer& w, const quantum_result& q);
 quantum_result read_quantum_result(archive_reader& r);
+
+// Analysis-result and configuration codecs, used by the run-server layer
+// (svc/proto.hpp) to stream per-tenant windows back to clients and to
+// carry a whole run request in one frame. Summaries round-trip bit-exactly:
+// welford accumulators ship their raw state (stats::welford_state), never
+// derived quantities.
+void write_window_summary(archive_writer& w, const cwcsim::window_summary& s);
+cwcsim::window_summary read_window_summary(archive_reader& r);
+void write_sim_config(archive_writer& w, const cwcsim::sim_config& cfg);
+cwcsim::sim_config read_sim_config(archive_reader& r);
 
 // Whole-buffer convenience forms.
 byte_buffer encode_sample_batch(const cwcsim::sample_batch& b);

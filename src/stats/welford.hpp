@@ -9,6 +9,18 @@
 
 namespace stats {
 
+/// The raw accumulator state of a welford — trivially copyable so the
+/// wire codecs (dist/wire.cpp) can ship summaries between processes
+/// bit-exactly. mean/variance derive from (n, mean, m2) without rounding,
+/// so a restored accumulator is indistinguishable from the original.
+struct welford_state {
+  std::uint64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
 class welford {
  public:
   void add(double x) noexcept {
@@ -54,6 +66,22 @@ class welford {
   double stddev() const noexcept { return std::sqrt(variance()); }
   double min() const noexcept { return min_; }
   double max() const noexcept { return max_; }
+
+  /// Snapshot the exact accumulator state (for wire transfer).
+  welford_state snapshot() const noexcept {
+    return welford_state{n_, mean_, m2_, min_, max_};
+  }
+
+  /// Rebuild an accumulator bit-identical to the one snapshot() captured.
+  static welford from_state(const welford_state& s) noexcept {
+    welford w;
+    w.n_ = s.n;
+    w.mean_ = s.mean;
+    w.m2_ = s.m2;
+    w.min_ = s.min;
+    w.max_ = s.max;
+    return w;
+  }
 
  private:
   std::uint64_t n_ = 0;

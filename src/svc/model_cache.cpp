@@ -1,0 +1,33 @@
+#include "svc/model_cache.hpp"
+
+#include "dist/model_codec.hpp"
+
+namespace svc {
+
+std::shared_ptr<const cwc::compiled_model> model_cache::get_or_compile(
+    const dist::byte_buffer& frame, bool* cache_hit) {
+  const std::uint64_t key = dist::model_fingerprint(frame);
+  // Compile under the lock: concurrent tenants opening the same model must
+  // observe exactly one compile (the losers wait, then hit). Opens are
+  // rare next to quantum execution, so the serialization is immaterial.
+  const std::lock_guard<std::mutex> lk(mu_);
+  auto& bucket = map_[key];
+  for (const entry& e : bucket)
+    if (e.frame == frame) {
+      ++stats_.hits;
+      if (cache_hit != nullptr) *cache_hit = true;
+      return e.artifact;
+    }
+  auto artifact = dist::decode_model(frame);
+  ++stats_.compiles;
+  if (cache_hit != nullptr) *cache_hit = false;
+  bucket.push_back(entry{frame, artifact});
+  return artifact;
+}
+
+cache_stats model_cache::stats() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace svc

@@ -1,0 +1,48 @@
+// The server-side compiled-model cache: compile once per *model*, not per
+// run. Tenants submitting the same model description (byte-identical
+// dist/model_codec frame) share one immutable
+// shared_ptr<const cwc::compiled_model> — exactly the sharing contract
+// PR 4 established inside one run, extended across tenants and across
+// time. Keyed by dist::model_fingerprint() with a byte-for-byte frame
+// comparison on every hash hit, so a fingerprint collision can never
+// hand a tenant someone else's model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cwc/compiled_model.hpp"
+#include "dist/archive.hpp"
+
+namespace svc {
+
+struct cache_stats {
+  std::uint64_t compiles = 0;  ///< distinct models compiled
+  std::uint64_t hits = 0;      ///< requests served from the cache
+};
+
+class model_cache {
+ public:
+  /// Decode-and-compile `frame`, or return the artifact a previous
+  /// identical frame produced. Thread-safe. Throws what decode_model
+  /// throws on a malformed/foreign frame (nothing is cached then).
+  /// `cache_hit`, when non-null, reports whether the artifact was shared.
+  std::shared_ptr<const cwc::compiled_model> get_or_compile(
+      const dist::byte_buffer& frame, bool* cache_hit = nullptr);
+
+  cache_stats stats() const;
+
+ private:
+  struct entry {
+    dist::byte_buffer frame;  ///< collision guard: full key bytes
+    std::shared_ptr<const cwc::compiled_model> artifact;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<entry>> map_;
+  cache_stats stats_{};
+};
+
+}  // namespace svc

@@ -1,0 +1,110 @@
+// The run-server session protocol: schema-versioned frames exchanged
+// between a tenant's client driver and svc::run_server over the dist
+// wire/codec stack (net_channel transport, dist/archive framing).
+//
+// Every frame is [svc_tag byte][schema version byte][payload]; decoders
+// reject foreign-build frames with dist::schema_mismatch_error (version
+// registry: dist/schema.hpp). Uplink frames (client -> server) travel on
+// the server's shared MPSC ingress and therefore carry the sender's
+// connection id; downlink frames travel on a per-session channel and need
+// no addressing.
+//
+// Flow control is credit-based and explicit: the server sends a window
+// frame only when the session holds a credit; the client grants one
+// credit per window it has consumed. A subscriber that falls behind stops
+// granting, the session's server-side pending queue fills to its bound,
+// and the scheduler stops granting that session quanta — the slow tenant
+// throttles itself, never the shared pool.
+#pragma once
+
+#include "core/backend.hpp"
+#include "dist/wire.hpp"
+
+namespace svc {
+
+/// Frame kind, first byte of every svc frame.
+enum class svc_tag : std::uint8_t {
+  // ---- uplink: client -> server (shared ingress, addressed) ----
+  open = 1,     ///< submit a run request (model + config + QoS knobs)
+  credit = 2,   ///< grant window credits (backpressure release)
+  cancel = 3,   ///< cooperative stop: tear down, reply with complete frame
+  close = 4,    ///< disconnect: tear down silently (no reply expected)
+  // ---- downlink: server -> client (per-session channel) ----
+  open_ok = 5,    ///< session admitted; streaming begins
+  open_error = 6, ///< admission/validation rejected the request
+  window = 7,     ///< one window_summary (consumes one credit)
+  trajectory_done = 8,  ///< one completion notice
+  complete = 9,   ///< run over (normally or via cancel); last frame
+  error = 10,     ///< tenant-isolated failure; last frame
+};
+
+/// Uplink: everything the server needs to run a campaign for one tenant.
+struct open_request {
+  std::uint64_t conn_id = 0;
+  /// Fair-share weight of this session in the deficit round-robin
+  /// scheduler (relative quanta share under contention).
+  double weight = 1.0;
+  /// Bound of the per-session pending-window queue / initial credit grant
+  /// (0 = server default).
+  std::uint64_t window_credits = 0;
+  cwcsim::sim_config cfg{};
+  /// The model description as one dist/model_codec frame. Empty when the
+  /// model cannot cross the wire (custom rate laws) and the client
+  /// registered its compiled artifact in-process instead.
+  dist::byte_buffer model_frame;
+  /// In-process fallback token from run_server::register_local_model();
+  /// meaningful only when model_frame is empty.
+  std::uint64_t local_model = 0;
+};
+
+/// Downlink: the session was admitted.
+struct open_ack {
+  std::uint64_t session_id = 0;
+  std::uint32_t pool_workers = 0;  ///< shared pool width (for reports)
+  std::uint64_t window_credits = 0;  ///< the bound actually applied
+  bool cache_hit = false;  ///< model served from the compiled-model cache
+};
+
+/// Downlink: the run finished (all trajectories, or torn down by cancel).
+struct run_complete {
+  bool stopped = false;          ///< ended via cancel, results partial
+  std::uint64_t trajectories = 0;  ///< completions streamed
+  std::uint64_t quanta = 0;        ///< quanta accepted into this session
+};
+
+// ---- whole-frame encoders (tag + schema header + payload) -------------
+
+dist::byte_buffer encode_open(const open_request& rq);
+dist::byte_buffer encode_credit(std::uint64_t conn_id, std::uint64_t n);
+dist::byte_buffer encode_cancel(std::uint64_t conn_id);
+dist::byte_buffer encode_close(std::uint64_t conn_id);
+
+dist::byte_buffer encode_open_ack(const open_ack& a);
+dist::byte_buffer encode_open_error(const std::string& reason);
+dist::byte_buffer encode_window(const cwcsim::window_summary& w);
+dist::byte_buffer encode_trajectory_done(const cwcsim::task_done& d);
+dist::byte_buffer encode_complete(const run_complete& c);
+dist::byte_buffer encode_error(const std::string& reason);
+
+// ---- decoding ----------------------------------------------------------
+
+/// Consume the tag byte and validate the schema header; the payload then
+/// reads with the matching read_* below. Throws schema_mismatch_error on
+/// a foreign frame, std::runtime_error on an unknown tag.
+svc_tag read_frame_header(dist::archive_reader& r);
+
+open_request read_open(dist::archive_reader& r);
+struct credit_grant {
+  std::uint64_t conn_id = 0;
+  std::uint64_t n = 0;
+};
+credit_grant read_credit(dist::archive_reader& r);
+std::uint64_t read_conn_id(dist::archive_reader& r);  ///< cancel/close
+
+open_ack read_open_ack(dist::archive_reader& r);
+std::string read_reason(dist::archive_reader& r);  ///< open_error/error
+cwcsim::window_summary read_window(dist::archive_reader& r);
+cwcsim::task_done read_trajectory_done(dist::archive_reader& r);
+run_complete read_complete(dist::archive_reader& r);
+
+}  // namespace svc

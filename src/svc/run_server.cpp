@@ -1,0 +1,652 @@
+#include "svc/run_server.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/online_analysis.hpp"
+#include "core/quantum.hpp"
+
+namespace svc {
+
+namespace {
+
+/// One trajectory leased quantum-by-quantum to the pool. The engine is
+/// built lazily on the first grant and then lives here between quanta, so
+/// the happy path never replays — exactly the PR 6 grant shape, minus the
+/// wire (the lease travels by move between the scheduler and a worker).
+struct traj_task {
+  std::uint64_t trajectory_id = 0;
+  std::uint64_t quantum_index = 0;
+  std::optional<cwcsim::any_engine> engine;
+};
+
+/// Why a session is ending; decides the final downlink frame.
+enum class end_kind : std::uint8_t {
+  none = 0,
+  cancelled,  ///< cancel frame: flush pending windows, complete{stopped}
+  closed,     ///< close frame / disconnect: drop pending, say nothing
+  failed,     ///< engine threw: drop pending, error frame
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- session
+
+/// Everything the server tracks for one tenant. Lock domains:
+///   - ingest_mu : analysis + completion counters. At most one worker
+///     delivers into a session at a time (one quantum in flight per
+///     trajectory keeps per-trajectory sample order; the mutex serializes
+///     across trajectories of the same session).
+///   - flow_mu   : credits + the pending-window queue. Taken under
+///     ingest_mu (sink callbacks) and under sched_mu (finalize); never the
+///     other way around.
+///   - sched_mu  : (owned by run_server::impl) ready queue, inflight
+///     count, deficit, lifecycle flags.
+struct session final : cwcsim::event_sink {
+  // Immutable after admission.
+  std::uint64_t id = 0;
+  double weight = 1.0;
+  std::uint64_t capacity = 8;  ///< pending-window bound == initial credits
+  cwcsim::sim_config cfg{};
+  std::shared_ptr<const cwc::compiled_model> model;
+  std::shared_ptr<dist::net_channel> down;
+
+  // ---- flow control (flow_mu) ----
+  std::mutex flow_mu;
+  std::uint64_t credits = 0;
+  std::deque<cwcsim::window_summary> pending;
+  /// Mirror of pending.size() the scheduler reads without flow_mu.
+  std::atomic<std::uint64_t> backlog{0};
+
+  // ---- ingest (ingest_mu) ----
+  std::mutex ingest_mu;
+  std::optional<cwcsim::online_analysis> analysis;
+  std::uint64_t trajectories_done = 0;
+
+  /// Set at teardown; engines polling stop_requested() wind down early
+  /// and deliveries into a torn-down session are discarded.
+  std::atomic<bool> torn_down{false};
+
+  // ---- scheduler state (run_server::impl::sched_mu) ----
+  std::deque<traj_task> ready;
+  std::uint64_t inflight = 0;   ///< quanta granted, not yet delivered
+  std::uint64_t accepted = 0;   ///< quanta ingested into the analysis
+  double deficit = 0.0;
+  bool fresh = true;      ///< next scheduler visit starts a new DRR round
+  bool finished = false;  ///< every trajectory reached t_end
+  end_kind ending = end_kind::none;
+  std::string fail_reason;
+  bool finalized = false;
+
+  // ---- event_sink (called under ingest_mu from the analysis) ----
+  void window(cwcsim::window_summary&& w) override {
+    const std::lock_guard<std::mutex> lk(flow_mu);
+    // Credit-gated: ship immediately while the subscriber has credits and
+    // nothing is queued ahead (frames must stay in time order); otherwise
+    // park server-side until a credit frame drains the queue.
+    if (credits > 0 && pending.empty()) {
+      --credits;
+      down->send(encode_window(w));
+    } else {
+      pending.push_back(std::move(w));
+      backlog.store(pending.size(), std::memory_order_relaxed);
+    }
+  }
+
+  void trajectory_done(const cwcsim::task_done& d) override {
+    down->send(encode_trajectory_done(d));
+  }
+
+  bool stop_requested() const noexcept override {
+    return torn_down.load(std::memory_order_relaxed);
+  }
+};
+
+// ------------------------------------------------------------------- impl
+
+struct run_server::impl {
+  explicit impl(const svc_config& cfg)
+      : cfg_(cfg), ingress_(std::make_shared<dist::net_channel>(cfg.network)) {}
+
+  const svc_config& cfg_;
+  model_cache cache_;
+
+  /// Shared MPSC uplink all connections send on; each client_conn holds a
+  /// writer slot (and a shared_ptr, so a connection outliving the server
+  /// degrades to sends nobody reads instead of a dangling pointer).
+  std::shared_ptr<dist::net_channel> ingress_;
+
+  // ---- connection registry (conn_mu) ----
+  std::mutex conn_mu_;
+  std::uint64_t next_conn_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<dist::net_channel>> downlinks_;
+
+  // ---- local-model registry (conn_mu) ----
+  std::uint64_t next_local_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const cwc::compiled_model>>
+      local_models_;
+
+  // ---- scheduler (sched_mu) ----
+  mutable std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  bool shutting_down_ = false;
+  std::unordered_map<std::uint64_t, std::shared_ptr<session>> sessions_;
+  std::vector<std::shared_ptr<session>> ring_;  ///< DRR service order
+  std::size_t cursor_ = 0;
+  server_stats stats_{};
+
+  std::atomic<bool> dispatcher_stop_{false};
+  std::vector<std::thread> workers_;
+  std::thread dispatcher_;
+
+  // ---------------------------------------------------------- lifecycle
+
+  void start() {
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+    const unsigned n = cfg_.pool_workers == 0 ? 1 : cfg_.pool_workers;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  void stop() {
+    {
+      const std::lock_guard<std::mutex> lk(sched_mu_);
+      shutting_down_ = true;
+      for (auto& s : ring_)
+        if (s->ending == end_kind::none && !s->finished)
+          begin_teardown_locked(*s, end_kind::closed, {});
+      // Sessions parked finished-but-undrained will never get more
+      // credits: release them too.
+      for (auto& [id, s] : sessions_)
+        if (!s->finalized && s->ending == end_kind::none)
+          begin_teardown_locked(*s, end_kind::closed, {});
+      sched_cv_.notify_all();
+    }
+    dispatcher_stop_.store(true);
+    if (dispatcher_.joinable()) dispatcher_.join();
+    for (auto& t : workers_)
+      if (t.joinable()) t.join();
+  }
+
+  // --------------------------------------------------------- dispatcher
+
+  void dispatcher_loop() {
+    while (!dispatcher_stop_.load()) {
+      auto msg = ingress_->recv_for(cfg_.server_tick_s);
+      if (!msg) continue;
+      try {
+        handle_frame(*msg);
+      } catch (const std::exception&) {
+        // Malformed/foreign uplink frame: drop it. The sender (if it is
+        // still there) times out and gives up; co-tenants are unaffected.
+      }
+    }
+  }
+
+  void handle_frame(const dist::byte_buffer& frame) {
+    dist::archive_reader r(frame);
+    switch (read_frame_header(r)) {
+      case svc_tag::open:
+        handle_open(read_open(r));
+        break;
+      case svc_tag::credit: {
+        const credit_grant g = read_credit(r);
+        if (auto s = find_session(g.conn_id)) grant_credits(*s, g.n);
+        break;
+      }
+      case svc_tag::cancel: {
+        const std::uint64_t id = read_conn_id(r);
+        const std::lock_guard<std::mutex> lk(sched_mu_);
+        auto it = sessions_.find(id);
+        if (it != sessions_.end())
+          begin_teardown_locked(*it->second, end_kind::cancelled, {});
+        break;
+      }
+      case svc_tag::close: {
+        const std::uint64_t id = read_conn_id(r);
+        const std::lock_guard<std::mutex> lk(sched_mu_);
+        auto it = sessions_.find(id);
+        if (it != sessions_.end())
+          begin_teardown_locked(*it->second, end_kind::closed, {});
+        break;
+      }
+      default:
+        // Downlink-only tag arriving on the uplink: drop.
+        break;
+    }
+  }
+
+  std::shared_ptr<session> find_session(std::uint64_t id) {
+    const std::lock_guard<std::mutex> lk(sched_mu_);
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second;
+  }
+
+  // ---------------------------------------------------------- admission
+
+  void handle_open(open_request rq) {
+    std::shared_ptr<dist::net_channel> down;
+    {
+      const std::lock_guard<std::mutex> lk(conn_mu_);
+      auto it = downlinks_.find(rq.conn_id);
+      if (it == downlinks_.end()) return;  // unknown connection: no reply path
+      down = it->second;
+    }
+
+    const auto reject = [&](const std::string& why) {
+      {
+        const std::lock_guard<std::mutex> lk(sched_mu_);
+        ++stats_.sessions_rejected;
+      }
+      down->send(encode_open_error(why));
+    };
+
+    // Validation happens server-side too: the server must not trust the
+    // client's driver to have checked anything.
+    try {
+      cwcsim::validate(rq.cfg);
+    } catch (const std::exception& e) {
+      reject(e.what());
+      return;
+    }
+    if (rq.cfg.capture_trace) {
+      reject("capture_trace is not supported over the service backend");
+      return;
+    }
+    if (!(rq.weight > 0.0) || !(rq.weight <= 1024.0)) {
+      reject("session weight must be in (0, 1024]");
+      return;
+    }
+
+    // Resolve the model: a wire frame goes through the compiled-model
+    // cache (one compile per distinct model, shared across tenants); an
+    // in-process token looks up a pre-registered artifact.
+    std::shared_ptr<const cwc::compiled_model> cm;
+    bool cache_hit = false;
+    if (!rq.model_frame.empty()) {
+      try {
+        cm = cache_.get_or_compile(rq.model_frame, &cache_hit);
+      } catch (const std::exception& e) {
+        reject(std::string("model frame rejected: ") + e.what());
+        return;
+      }
+    } else {
+      const std::lock_guard<std::mutex> lk(conn_mu_);
+      auto it = local_models_.find(rq.local_model);
+      if (it == local_models_.end()) {
+        reject("open carries neither a model frame nor a known local model");
+        return;
+      }
+      cm = it->second;
+    }
+
+    auto s = std::make_shared<session>();
+    s->id = rq.conn_id;
+    s->weight = rq.weight;
+    s->capacity = rq.window_credits != 0 ? rq.window_credits
+                                         : cfg_.default_window_credits;
+    s->cfg = rq.cfg;
+    s->model = std::move(cm);
+    s->down = down;
+    s->credits = s->capacity;
+    // s->cfg is stable for the session's lifetime (session lives on the
+    // heap behind shared_ptr), satisfying online_analysis's reference.
+    s->analysis.emplace(s->cfg, s->model->num_observables(), *s);
+    for (std::uint64_t t = 0; t < s->cfg.num_trajectories; ++t)
+      s->ready.push_back(traj_task{t, 0, std::nullopt});
+
+    {
+      const std::lock_guard<std::mutex> lk(sched_mu_);
+      if (shutting_down_ || sessions_.size() >= cfg_.max_sessions ||
+          sessions_.count(s->id) != 0) {
+        ++stats_.sessions_rejected;
+        down->send(encode_open_error(
+            sessions_.count(s->id) != 0
+                ? "a session is already open on this connection"
+                : "server at capacity"));
+        return;
+      }
+      sessions_.emplace(s->id, s);
+      ring_.push_back(s);
+      ++stats_.sessions_opened;
+      sched_cv_.notify_all();
+    }
+
+    open_ack ack;
+    ack.session_id = s->id;
+    ack.pool_workers = cfg_.pool_workers == 0 ? 1 : cfg_.pool_workers;
+    ack.window_credits = s->capacity;
+    ack.cache_hit = cache_hit;
+    down->send(encode_open_ack(ack));
+  }
+
+  // -------------------------------------------------------- flow control
+
+  void grant_credits(session& s, std::uint64_t n) {
+    {
+      const std::lock_guard<std::mutex> lk(s.flow_mu);
+      s.credits += n;
+      while (s.credits > 0 && !s.pending.empty()) {
+        --s.credits;
+        s.down->send(encode_window(s.pending.front()));
+        s.pending.pop_front();
+      }
+      s.backlog.store(s.pending.size(), std::memory_order_relaxed);
+    }
+    const std::lock_guard<std::mutex> lk(sched_mu_);
+    // The drain may have unblocked scheduling, or let a finished session
+    // send its terminal complete frame.
+    maybe_finalize_locked(s);
+    sched_cv_.notify_all();
+  }
+
+  // ----------------------------------------------------------- scheduler
+
+  struct grant {
+    std::shared_ptr<session> s;
+    traj_task task;
+  };
+
+  /// A session may receive quanta only while it is live and its subscriber
+  /// keeps up. (One delivered quantum can still push several windows into
+  /// pending — bounded overshoot of at most the windows one quantum
+  /// produces; the bound is on *granting*, which is what stops a slow
+  /// tenant from monopolising the pool.)
+  static bool eligible(const session& s) {
+    return s.ending == end_kind::none && !s.finished && !s.ready.empty() &&
+           s.backlog.load(std::memory_order_relaxed) < s.capacity;
+  }
+
+  /// Deficit-weighted round robin: a session arriving fresh under the
+  /// cursor banks `weight` deficit; serving one quantum costs 1. Sessions
+  /// with weight < 1 keep their balance across starved rounds and are
+  /// served every ~1/weight rounds — proportional shares, no starvation.
+  std::optional<grant> next_task() {
+    std::unique_lock<std::mutex> lk(sched_mu_);
+    for (;;) {
+      if (shutting_down_) return std::nullopt;
+      bool banked = false;  // some eligible session accumulated deficit
+      for (std::size_t scanned = ring_.size(); scanned > 0; --scanned) {
+        if (ring_.empty()) break;
+        if (cursor_ >= ring_.size()) cursor_ = 0;
+        session& s = *ring_[cursor_];
+        if (!eligible(s)) {
+          // Classic DRR: nothing to serve forfeits the balance.
+          s.deficit = 0.0;
+          s.fresh = true;
+          ++cursor_;
+          continue;
+        }
+        if (s.fresh) {
+          s.deficit += s.weight;
+          s.fresh = false;
+        }
+        if (s.deficit >= 1.0) {
+          s.deficit -= 1.0;
+          grant g{ring_[cursor_], std::move(s.ready.front())};
+          s.ready.pop_front();
+          ++s.inflight;
+          if (s.deficit < 1.0 || s.ready.empty()) {
+            s.fresh = true;
+            ++cursor_;
+          }
+          return g;
+        }
+        banked = true;  // balance grows next round; move on for now
+        s.fresh = true;
+        ++cursor_;
+      }
+      if (banked) continue;  // another pass banks more deficit
+      sched_cv_.wait_for(lk, std::chrono::milliseconds(50));
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      auto g = next_task();
+      if (!g) return;
+      session& s = *g->s;
+      cwcsim::quantum_outcome out;
+      bool failed = false;
+      std::string why;
+      try {
+        if (!g->task.engine)
+          g->task.engine.emplace(s.model, s.cfg.seed, g->task.trajectory_id);
+        out = cwcsim::advance_one_quantum(*g->task.engine, s.cfg,
+                                          g->task.trajectory_id,
+                                          g->task.quantum_index);
+        ++g->task.quantum_index;
+      } catch (const std::exception& e) {
+        failed = true;
+        why = e.what();
+      } catch (...) {
+        failed = true;
+        why = "unknown engine failure";
+      }
+      deliver(*g, std::move(out), failed, why);
+    }
+  }
+
+  // ------------------------------------------------------------ delivery
+
+  void deliver(grant& g, cwcsim::quantum_outcome&& out, bool failed,
+               const std::string& why) {
+    session& s = *g.s;
+    bool accepted = false;
+    bool finished_session = false;
+
+    if (!failed) {
+      const std::lock_guard<std::mutex> lk(s.ingest_mu);
+      if (!s.torn_down.load(std::memory_order_relaxed)) {
+        accepted = true;
+        for (const auto& smp : out.batch.samples)
+          s.analysis->ingest(g.task.trajectory_id, smp);
+        if (out.finished) {
+          ++s.trajectories_done;
+          s.trajectory_done(out.done);
+          if (s.trajectories_done == s.cfg.num_trajectories) {
+            s.analysis->finish();
+            finished_session = true;
+          }
+        }
+      }
+    }
+
+    const std::lock_guard<std::mutex> lk(sched_mu_);
+    --s.inflight;
+    ++stats_.quanta_executed;
+    if (accepted) {
+      ++stats_.quanta_accepted;
+      ++s.accepted;
+      if (!out.finished) s.ready.push_back(std::move(g.task));
+    } else {
+      ++stats_.quanta_discarded;
+    }
+    if (finished_session) s.finished = true;
+    if (failed && s.ending == end_kind::none && !s.finalized)
+      begin_teardown_locked(s, end_kind::failed, why);
+    maybe_finalize_locked(s);
+    sched_cv_.notify_all();
+  }
+
+  // ------------------------------------------------------------ teardown
+
+  /// Mark a session as ending and release its queued leases. Idempotent:
+  /// the first kind wins. Callers hold sched_mu.
+  void begin_teardown_locked(session& s, end_kind kind, std::string why) {
+    if (s.ending != end_kind::none || s.finalized) return;
+    s.ending = kind;
+    s.fail_reason = std::move(why);
+    s.torn_down.store(true, std::memory_order_relaxed);
+    s.ready.clear();  // queued leases return to the pool immediately
+    ++stats_.sessions_cancelled;
+    maybe_finalize_locked(s);
+    sched_cv_.notify_all();
+  }
+
+  /// Send the terminal frame and retire the session, once its pool
+  /// footprint is gone. Callers hold sched_mu. The terminal frame must be
+  /// the LAST downlink frame, so a finished session waits for its pending
+  /// windows to drain (credits) and a torn-down one for in-flight quanta
+  /// to deliver.
+  void maybe_finalize_locked(session& s) {
+    if (s.finalized) return;
+    if (s.ending != end_kind::none) {
+      if (s.inflight != 0) return;
+      {
+        const std::lock_guard<std::mutex> fl(s.flow_mu);
+        if (s.ending == end_kind::cancelled) {
+          // Cooperative stop flushes what the tenant already paid for;
+          // backpressure no longer applies to a stream that is ending.
+          while (!s.pending.empty()) {
+            s.down->send(encode_window(s.pending.front()));
+            s.pending.pop_front();
+          }
+        } else {
+          s.pending.clear();
+        }
+        s.backlog.store(0, std::memory_order_relaxed);
+      }
+      if (s.ending == end_kind::cancelled) {
+        run_complete c;
+        c.stopped = true;
+        c.trajectories = s.trajectories_done;
+        c.quanta = s.accepted;
+        s.down->send(encode_complete(c));
+      } else if (s.ending == end_kind::failed) {
+        s.down->send(encode_error(s.fail_reason));
+      }
+      retire_locked(s);
+      return;
+    }
+    if (s.finished && s.inflight == 0 &&
+        s.backlog.load(std::memory_order_relaxed) == 0) {
+      run_complete c;
+      c.stopped = false;
+      c.trajectories = s.trajectories_done;
+      c.quanta = s.accepted;
+      s.down->send(encode_complete(c));
+      ++stats_.sessions_completed;
+      retire_locked(s);
+    }
+  }
+
+  void retire_locked(session& s) {
+    s.finalized = true;
+    s.down->close_writer();  // subscriber sees downlink_drained() after EOS
+    sessions_.erase(s.id);
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      if (ring_[i].get() == &s) {
+        ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(i));
+        if (i < cursor_) --cursor_;
+        if (cursor_ >= ring_.size()) cursor_ = 0;
+        break;
+      }
+  }
+};
+
+// -------------------------------------------------------------- run_server
+
+run_server::run_server(svc_config cfg)
+    : cfg_(cfg), impl_(std::make_unique<impl>(cfg_)) {
+  // The session protocol (credits, terminal frames) assumes a reliable
+  // transport; the seeded-loss modeling belongs to the distributed
+  // backend's virtual cluster, not the service link.
+  util::expects(cfg_.network.drop_prob == 0.0,
+                "run_server requires a lossless link (drop_prob == 0)");
+  impl_->start();
+}
+
+run_server::~run_server() { impl_->stop(); }
+
+client_conn run_server::connect() {
+  std::uint64_t id;
+  std::shared_ptr<dist::net_channel> down;
+  {
+    const std::lock_guard<std::mutex> lk(impl_->conn_mu_);
+    id = impl_->next_conn_++;
+    down = std::make_shared<dist::net_channel>(cfg_.network);
+    down->add_writer();  // the server's writer slot; closed at retire
+    impl_->downlinks_.emplace(id, down);
+  }
+  impl_->ingress_->add_writer();  // the connection's uplink slot
+  return client_conn(id, impl_->ingress_, std::move(down));
+}
+
+std::uint64_t run_server::register_local_model(
+    std::shared_ptr<const cwc::compiled_model> cm) {
+  const std::lock_guard<std::mutex> lk(impl_->conn_mu_);
+  const std::uint64_t token = impl_->next_local_++;
+  impl_->local_models_.emplace(token, std::move(cm));
+  return token;
+}
+
+server_stats run_server::stats() const {
+  server_stats out;
+  {
+    const std::lock_guard<std::mutex> lk(impl_->sched_mu_);
+    out = impl_->stats_;
+  }
+  out.cache = impl_->cache_.stats();
+  return out;
+}
+
+// -------------------------------------------------------------- client_conn
+
+client_conn::client_conn(client_conn&& o) noexcept
+    : id_(o.id_), up_(std::move(o.up_)), down_(std::move(o.down_)) {
+  o.id_ = 0;
+  o.up_.reset();
+}
+
+client_conn& client_conn::operator=(client_conn&& o) noexcept {
+  if (this != &o) {
+    close();
+    id_ = o.id_;
+    up_ = std::move(o.up_);
+    down_ = std::move(o.down_);
+    o.id_ = 0;
+    o.up_.reset();
+  }
+  return *this;
+}
+
+client_conn::~client_conn() { close(); }
+
+void client_conn::send(dist::byte_buffer frame) {
+  util::expects(up_ != nullptr, "send on a closed client_conn");
+  up_->send(std::move(frame));
+}
+
+std::optional<dist::byte_buffer> client_conn::recv_for(double timeout_s) {
+  return down_->recv_for(timeout_s);
+}
+
+bool client_conn::downlink_drained() const { return down_->drained(); }
+
+std::uint64_t client_conn::messages_received() const {
+  return down_->messages_sent();
+}
+
+std::uint64_t client_conn::bytes_received() const { return down_->bytes_sent(); }
+
+void client_conn::close() {
+  if (up_ == nullptr) return;
+  // Best effort: tell the server we are gone, then release the writer
+  // slot. If the server is already gone the frame just sits unread.
+  up_->send(encode_close(id_));
+  up_->close_writer();
+  up_.reset();
+}
+
+}  // namespace svc

@@ -1,0 +1,156 @@
+// Simulation-as-a-service: a long-lived, multi-tenant run server.
+//
+// One run_server multiplexes many concurrent run requests onto one shared
+// worker pool. Clients connect over the dist transport stack (a shared
+// MPSC net_channel ingress up, a per-session net_channel down) and speak
+// the schema-versioned frame protocol of svc/proto.hpp; the usual way in
+// is the cwcsim::service backend, which makes
+// run_builder().backend(cwcsim::service{&server}).open() stream through a
+// server bit-exactly with a multicore run of the same (model, seed,
+// config).
+//
+// Architecture (one box per concern):
+//   - model cache   — compile once per *model*: open requests carry the
+//     canonical model frame, svc::model_cache keys artifacts by
+//     dist::model_fingerprint, and every tenant running the same model
+//     shares one immutable shared_ptr<const compiled_model>.
+//   - admission     — validate(cfg) server-side plus a max_sessions bound;
+//     rejected opens get a typed open_error frame, the pool never sees
+//     them.
+//   - scheduling    — deficit-weighted round robin over sessions: pool
+//     workers pull one trajectory quantum at a time (the PR 6 grant
+//     shape, in-process), each session accumulates `weight` deficit per
+//     scheduler round and pays 1 per quantum, so long-run quanta shares
+//     are proportional to weight and no tenant starves. A trajectory is
+//     leased to at most one worker at a time; its engine state lives on
+//     between quanta (no replay on the happy path).
+//   - analysis      — the same cwcsim::online_analysis every backend
+//     uses, run per-session as quanta arrive, so windows are bit-exact
+//     with the shared-memory pipeline regardless of pool interleaving.
+//   - backpressure  — credit-based and explicit (svc/proto.hpp): windows
+//     queue server-side when the tenant is out of credits, and a session
+//     whose pending queue reaches its bound stops receiving quanta until
+//     the subscriber drains. Slow tenants throttle only themselves.
+//   - teardown      — cancel (cooperative stop: pending windows flush,
+//     a complete{stopped} frame answers) and close (disconnect: the
+//     session vanishes silently). Both release the session's queued
+//     trajectory leases back to the pool immediately; in-flight quanta
+//     finish and are discarded, with quanta_executed ==
+//     quanta_accepted + quanta_discarded always balancing.
+//
+// Tenant isolation: a model whose engine throws mid-quantum fails only
+// its own session (an error frame, then teardown); the server and every
+// co-tenant keep running.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/backend.hpp"
+#include "dist/net_channel.hpp"
+#include "svc/model_cache.hpp"
+#include "svc/proto.hpp"
+
+namespace svc {
+
+struct svc_config {
+  unsigned pool_workers = 4;   ///< shared quantum-execution threads
+  std::size_t max_sessions = 64;  ///< admission bound on live sessions
+  /// Per-session pending-window bound / initial credit grant, when the
+  /// open request does not name one.
+  std::uint64_t default_window_credits = 8;
+  dist::net_params network{};  ///< link model for ingress + downlinks
+  double server_tick_s = 0.005;  ///< dispatcher recv_for slice
+};
+
+struct server_stats {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_cancelled = 0;  ///< cancel, close, or error
+  std::uint64_t sessions_rejected = 0;   ///< admission control
+  std::uint64_t quanta_executed = 0;   ///< quanta the pool ran
+  std::uint64_t quanta_accepted = 0;   ///< ingested into a live session
+  std::uint64_t quanta_discarded = 0;  ///< ran for a torn-down session
+  cache_stats cache;
+};
+
+/// A client's two transport endpoints, from run_server::connect().
+/// Move-only RAII: destroying (or close()-ing) an un-opened or mid-run
+/// connection signals disconnect, which tears the session down and
+/// releases its leases — a vanished tenant can never pin pool capacity.
+class client_conn {
+ public:
+  client_conn() = default;
+  client_conn(client_conn&& o) noexcept;
+  client_conn& operator=(client_conn&& o) noexcept;
+  client_conn(const client_conn&) = delete;
+  client_conn& operator=(const client_conn&) = delete;
+  ~client_conn();
+
+  std::uint64_t id() const noexcept { return id_; }
+
+  /// Send one uplink frame (svc/proto.hpp encoders).
+  void send(dist::byte_buffer frame);
+
+  /// Receive the next downlink frame, waiting at most timeout_s.
+  std::optional<dist::byte_buffer> recv_for(double timeout_s);
+
+  /// True once the server closed this session's downlink (last frame —
+  /// complete or error — already delivered or lost for good).
+  bool downlink_drained() const;
+
+  /// Downlink traffic counters (for run_report::network_stats).
+  std::uint64_t messages_received() const;
+  std::uint64_t bytes_received() const;
+
+  /// Signal disconnect now (idempotent; the destructor calls it).
+  void close();
+
+  explicit operator bool() const noexcept { return up_ != nullptr; }
+
+ private:
+  friend class run_server;
+  client_conn(std::uint64_t id, std::shared_ptr<dist::net_channel> up,
+              std::shared_ptr<dist::net_channel> down)
+      : id_(id), up_(std::move(up)), down_(std::move(down)) {}
+
+  std::uint64_t id_ = 0;
+  /// The server's shared ingress (shared_ptr: a connection outliving the
+  /// server degrades to sends nobody reads, never a dangling pointer).
+  std::shared_ptr<dist::net_channel> up_;
+  std::shared_ptr<dist::net_channel> down_;
+};
+
+class run_server {
+ public:
+  explicit run_server(svc_config cfg = {});
+
+  /// Tears every live session down, drains the pool, joins all threads.
+  ~run_server();
+
+  run_server(const run_server&) = delete;
+  run_server& operator=(const run_server&) = delete;
+
+  const svc_config& config() const noexcept { return cfg_; }
+
+  /// Register a client link: the returned endpoints speak svc/proto.hpp
+  /// frames. One session per connection.
+  client_conn connect();
+
+  /// In-process fallback for models that cannot cross the wire (custom
+  /// rate laws): register the artifact, reference it from the open
+  /// request via open_request::local_model. Bypasses the model cache.
+  std::uint64_t register_local_model(
+      std::shared_ptr<const cwc::compiled_model> cm);
+
+  /// Point-in-time counters (thread-safe; exact once the server is idle).
+  server_stats stats() const;
+
+ private:
+  struct impl;
+  svc_config cfg_;
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace svc

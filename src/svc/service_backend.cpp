@@ -1,0 +1,127 @@
+// The cwcsim::service backend driver: the client half of the run server.
+// Adapts one tenant's run to the svc/proto.hpp session protocol so
+// run_builder().backend(cwcsim::service{&server}).open() is
+// indistinguishable from a local run — same streaming event_sink surface,
+// same cooperative stop, and bit-exact windows versus multicore for the
+// same (model, seed, config), because the server runs the identical
+// engine + online_analysis composition.
+#include <string>
+#include <utility>
+
+#include "dist/model_codec.hpp"
+#include "svc/run_server.hpp"
+#include "util/stopwatch.hpp"
+
+namespace svc {
+namespace {
+
+class service_driver final : public cwcsim::backend_driver {
+ public:
+  service_driver(const cwcsim::model_ref& model, const cwcsim::sim_config& cfg,
+                 const cwcsim::service& b)
+      : model_(model), cfg_(cfg), b_(b) {}
+
+  const char* name() const noexcept override { return "service"; }
+
+  void run(cwcsim::event_sink& sink, cwcsim::run_report& report) override {
+    util::stopwatch sw;
+    run_server& srv = *b_.server;
+    client_conn conn = srv.connect();
+
+    open_request rq;
+    rq.conn_id = conn.id();
+    rq.weight = b_.weight;
+    rq.window_credits = b_.window_credits;
+    rq.cfg = cfg_;
+    double model_bytes = 0.0;
+    if (dist::wire_encodable(model_)) {
+      rq.model_frame = dist::encode_model(model_);
+      model_bytes = static_cast<double>(rq.model_frame.size());
+    } else {
+      // Custom rate laws cannot cross the wire: share the compiled
+      // artifact in-process and send a token instead (run_builder::open()
+      // compiled the model before constructing this driver).
+      rq.local_model = srv.register_local_model(model_.compiled);
+    }
+    conn.send(encode_open(rq));
+
+    open_ack ack;
+    bool cancel_sent = false;
+    bool complete_seen = false;
+    run_complete fin;
+    while (!complete_seen) {
+      if (!cancel_sent && sink.stop_requested()) {
+        conn.send(encode_cancel(conn.id()));
+        cancel_sent = true;
+      }
+      auto msg = conn.recv_for(b_.tick_s);
+      if (!msg) {
+        if (conn.downlink_drained())
+          throw std::runtime_error(
+              "service: server closed the session without a terminal frame");
+        continue;
+      }
+      dist::archive_reader r(*msg);
+      switch (read_frame_header(r)) {
+        case svc_tag::open_ok:
+          ack = read_open_ack(r);
+          break;
+        case svc_tag::open_error:
+          throw std::runtime_error("service: open rejected: " +
+                                   read_reason(r));
+        case svc_tag::window:
+          sink.window(read_window(r));
+          // One credit per consumed window keeps the stream flowing; a
+          // subscriber that blocks in sink.window() simply grants later,
+          // which is exactly the backpressure contract.
+          conn.send(encode_credit(conn.id(), 1));
+          break;
+        case svc_tag::trajectory_done: {
+          const cwcsim::task_done d = read_trajectory_done(r);
+          report.result.completions.push_back(d);
+          sink.trajectory_done(d);
+          break;
+        }
+        case svc_tag::complete:
+          fin = read_complete(r);
+          complete_seen = true;
+          break;
+        case svc_tag::error:
+          throw std::runtime_error("service: run failed on the server: " +
+                                   read_reason(r));
+        default:
+          throw std::runtime_error("service: unexpected uplink tag on the "
+                                   "downlink");
+      }
+    }
+
+    report.stopped = fin.stopped;
+    report.result.sim_workers = ack.pool_workers;
+    report.result.stat_engines = 1;  // the server's per-session analysis
+    report.network.emplace();
+    report.network->messages =
+        static_cast<std::size_t>(conn.messages_received());
+    report.network->bytes = static_cast<double>(conn.bytes_received());
+    report.network->model_bytes = model_bytes;
+    report.network->grants = fin.quanta;
+    report.result.wall_seconds = sw.elapsed_s();
+  }
+
+ private:
+  cwcsim::model_ref model_;
+  cwcsim::sim_config cfg_;
+  cwcsim::service b_;
+};
+
+}  // namespace
+}  // namespace svc
+
+namespace cwcsim::detail {
+
+std::unique_ptr<backend_driver> make_service_driver(const model_ref& model,
+                                                    const sim_config& cfg,
+                                                    const service& b) {
+  return std::make_unique<svc::service_driver>(model, cfg, b);
+}
+
+}  // namespace cwcsim::detail

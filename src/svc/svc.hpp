@@ -1,0 +1,9 @@
+// Umbrella header for the simulation-as-a-service layer: the multi-tenant
+// run server, its session protocol, and the compiled-model cache. The
+// matching client-side piece is the cwcsim::service backend descriptor
+// (core/backend.hpp) — run_builder().backend(cwcsim::service{&server}).
+#pragma once
+
+#include "svc/model_cache.hpp"  // IWYU pragma: export
+#include "svc/proto.hpp"        // IWYU pragma: export
+#include "svc/run_server.hpp"   // IWYU pragma: export

@@ -231,6 +231,32 @@ TEST(NetChannelLoss, ZeroDropProbNeverDraws) {
 
 // ------------------------- schema-versioned frames ------------------------
 
+TEST(ArchiveSchema, RegistryIsTheSingleSourceOfVersions) {
+  // Every frame family aliases the one bump point in dist/schema.hpp. If a
+  // family ever diverges without updating the registry (a magic number at
+  // an encode site), this test is the tripwire.
+  EXPECT_EQ(dist::archive_schema_version, dist::wire_schema_version);
+  EXPECT_EQ(dist::model_frame_version, dist::wire_schema_version);
+  EXPECT_EQ(dist::quantum_result_version, dist::wire_schema_version);
+  EXPECT_EQ(dist::svc_frame_version, dist::wire_schema_version);
+
+  // And the bytes actually emitted agree with the registry: the framed
+  // archive header and the model frame both lead with the version byte.
+  dist::archive_writer w;
+  dist::put_schema_header(w);
+  const auto header = w.take();
+  ASSERT_FALSE(header.empty());
+  EXPECT_EQ(std::to_integer<std::uint8_t>(header[0]),
+            dist::archive_schema_version);
+
+  const auto net = models::make_birth_death({});
+  const auto frame =
+      dist::encode_model(cwcsim::model_ref{nullptr, &net, nullptr});
+  ASSERT_FALSE(frame.empty());
+  EXPECT_EQ(std::to_integer<std::uint8_t>(frame[0]),
+            dist::model_frame_version);
+}
+
 TEST(ArchiveSchema, HeaderRoundTrips) {
   dist::archive_writer w;
   dist::put_schema_header(w);

@@ -212,6 +212,32 @@ TEST(Session, StopBeforeStartDrainsImmediately) {
   EXPECT_TRUE(report.result.completions.empty());
 }
 
+TEST(Session, RequestStopIsIdempotentAndSafeAfterWait) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  cfg.num_trajectories = 2;
+  cfg.t_end = 2.0;
+  auto s = cwcsim::run_builder().model(m).config(cfg).open();
+
+  // Idempotent before start...
+  s.request_stop();
+  s.request_stop();
+  EXPECT_FALSE(s.started());
+
+  // ...and still callable after wait() returned (a subscriber or watchdog
+  // firing late must not crash the program).
+  const auto report = s.wait();
+  EXPECT_TRUE(report.stopped);
+  s.request_stop();
+  s.request_stop();
+
+  // A moved-from handle degrades to a no-op, not a null dereference.
+  auto s2 = std::move(s);
+  s.request_stop();  // NOLINT(bugprone-use-after-move): the documented contract
+  EXPECT_FALSE(s.started());
+  s2.request_stop();
+}
+
 TEST(Session, SubscriptionAfterStartIsRejected) {
   const auto m = models::make_neurospora_cwc({});
   auto cfg = small_config();

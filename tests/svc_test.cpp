@@ -1,0 +1,576 @@
+// Tests for the simulation-as-a-service layer (src/svc/): the session
+// frame protocol, the compiled-model cache, and the multi-tenant run
+// server — bit-exactness with multicore, compile-once sharing across
+// tenants, credit-based backpressure isolation, fair completion under
+// contention, and teardown accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/cwcsim.hpp"
+#include "dist/dist.hpp"
+#include "models/models.hpp"
+#include "svc/svc.hpp"
+
+namespace {
+
+cwcsim::sim_config small_config() {
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories = 12;
+  cfg.t_end = 12.0;
+  cfg.sample_period = 0.5;
+  cfg.quantum = 3.0;
+  cfg.sim_workers = 2;
+  cfg.stat_engines = 2;
+  cfg.window_size = 5;
+  cfg.window_slide = 5;
+  cfg.kmeans_k = 2;
+  cfg.seed = 4321;
+  return cfg;
+}
+
+void expect_windows_bitexact(const std::vector<cwcsim::window_summary>& a,
+                             const std::vector<cwcsim::window_summary>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].first_sample, b[i].first_sample) << "window " << i;
+    ASSERT_EQ(a[i].cuts.size(), b[i].cuts.size()) << "window " << i;
+    for (std::size_t c = 0; c < a[i].cuts.size(); ++c) {
+      const auto& x = a[i].cuts[c];
+      const auto& y = b[i].cuts[c];
+      ASSERT_EQ(x.sample_index, y.sample_index);
+      ASSERT_DOUBLE_EQ(x.time, y.time);
+      ASSERT_EQ(x.moments.size(), y.moments.size());
+      for (std::size_t d = 0; d < x.moments.size(); ++d) {
+        ASSERT_EQ(x.moments[d].count(), y.moments[d].count());
+        ASSERT_DOUBLE_EQ(x.moments[d].mean(), y.moments[d].mean())
+            << "window " << i << " cut " << c << " dim " << d;
+        ASSERT_DOUBLE_EQ(x.moments[d].variance(), y.moments[d].variance());
+        ASSERT_DOUBLE_EQ(x.moments[d].min(), y.moments[d].min());
+        ASSERT_DOUBLE_EQ(x.moments[d].max(), y.moments[d].max());
+      }
+      ASSERT_EQ(x.medians, y.medians);
+      ASSERT_EQ(x.clusters.centroids, y.clusters.centroids);
+      ASSERT_EQ(x.clusters.assignment, y.clusters.assignment);
+      ASSERT_EQ(x.clusters.sizes, y.clusters.sizes);
+      ASSERT_DOUBLE_EQ(x.clusters.inertia, y.clusters.inertia);
+    }
+  }
+}
+
+// ----------------------------- frame protocol -----------------------------
+
+TEST(SvcProto, OpenFrameRoundTrips) {
+  const auto net = models::make_birth_death({});
+  svc::open_request rq;
+  rq.conn_id = 42;
+  rq.weight = 2.5;
+  rq.window_credits = 17;
+  rq.cfg = small_config();
+  rq.model_frame = dist::encode_model(cwcsim::model_ref{nullptr, &net, nullptr});
+  rq.local_model = 0;
+
+  const auto frame = svc::encode_open(rq);
+  dist::archive_reader r(frame);
+  ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::open);
+  const auto back = svc::read_open(r);
+  EXPECT_EQ(back.conn_id, rq.conn_id);
+  EXPECT_EQ(back.weight, rq.weight);
+  EXPECT_EQ(back.window_credits, rq.window_credits);
+  EXPECT_EQ(back.model_frame, rq.model_frame);
+  EXPECT_EQ(back.cfg.num_trajectories, rq.cfg.num_trajectories);
+  EXPECT_EQ(back.cfg.t_end, rq.cfg.t_end);
+  EXPECT_EQ(back.cfg.sample_period, rq.cfg.sample_period);
+  EXPECT_EQ(back.cfg.quantum, rq.cfg.quantum);
+  EXPECT_EQ(back.cfg.seed, rq.cfg.seed);
+  EXPECT_EQ(back.cfg.window_size, rq.cfg.window_size);
+  EXPECT_EQ(back.cfg.window_slide, rq.cfg.window_slide);
+  EXPECT_EQ(back.cfg.kmeans_k, rq.cfg.kmeans_k);
+
+  // The decoded model compiles into a behaviourally identical artifact.
+  const auto cm = dist::decode_model(back.model_frame);
+  EXPECT_FALSE(cm->is_tree());
+}
+
+TEST(SvcProto, ControlAndTerminalFramesRoundTrip) {
+  {
+    const auto f = svc::encode_credit(7, 3);
+    dist::archive_reader r(f);
+    ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::credit);
+    const auto g = svc::read_credit(r);
+    EXPECT_EQ(g.conn_id, 7u);
+    EXPECT_EQ(g.n, 3u);
+  }
+  {
+    const auto f = svc::encode_cancel(9);
+    dist::archive_reader r(f);
+    ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::cancel);
+    EXPECT_EQ(svc::read_conn_id(r), 9u);
+  }
+  {
+    svc::open_ack a;
+    a.session_id = 3;
+    a.pool_workers = 8;
+    a.window_credits = 4;
+    a.cache_hit = true;
+    const auto f = svc::encode_open_ack(a);
+    dist::archive_reader r(f);
+    ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::open_ok);
+    const auto b = svc::read_open_ack(r);
+    EXPECT_EQ(b.session_id, 3u);
+    EXPECT_EQ(b.pool_workers, 8u);
+    EXPECT_EQ(b.window_credits, 4u);
+    EXPECT_TRUE(b.cache_hit);
+  }
+  {
+    svc::run_complete c;
+    c.stopped = true;
+    c.trajectories = 5;
+    c.quanta = 99;
+    const auto f = svc::encode_complete(c);
+    dist::archive_reader r(f);
+    ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::complete);
+    const auto b = svc::read_complete(r);
+    EXPECT_TRUE(b.stopped);
+    EXPECT_EQ(b.trajectories, 5u);
+    EXPECT_EQ(b.quanta, 99u);
+  }
+  {
+    const auto f = svc::encode_error("engine exploded");
+    dist::archive_reader r(f);
+    ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::error);
+    EXPECT_EQ(svc::read_reason(r), "engine exploded");
+  }
+}
+
+TEST(SvcProto, WindowFrameRoundTripsBitExact) {
+  // A window summary with every field populated, shipped and restored.
+  cwcsim::window_summary s;
+  s.first_sample = 40;
+  stats::cut_summary cut;
+  cut.sample_index = 41;
+  cut.time = 20.5;
+  stats::welford w1;
+  w1.add(1.0);
+  w1.add(2.5);
+  w1.add(-3.25);
+  cut.moments = {w1, stats::welford{}};
+  cut.medians = {1.0, 0.0};
+  cut.clusters.centroids = {{1.0, 2.0}, {3.0, 4.0}};
+  cut.clusters.assignment = {0, 1, 1};
+  cut.clusters.sizes = {1, 2};
+  cut.clusters.inertia = 0.125;
+  cut.clusters.iterations = 3;
+  s.cuts.push_back(cut);
+
+  const auto f = svc::encode_window(s);
+  dist::archive_reader r(f);
+  ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::window);
+  const auto back = svc::read_window(r);
+  expect_windows_bitexact({back}, {s});
+  EXPECT_EQ(back.cuts[0].clusters.iterations, 3u);
+}
+
+TEST(SvcProto, ForeignSchemaVersionRejected) {
+  auto f = svc::encode_credit(1, 1);
+  // Byte 0 is the tag; byte 1 the schema version (dist/schema.hpp).
+  f[1] = std::byte{0x7F};
+  dist::archive_reader r(f);
+  EXPECT_THROW(svc::read_frame_header(r), dist::schema_mismatch_error);
+}
+
+TEST(SvcProto, UnknownTagRejected) {
+  auto f = svc::encode_credit(1, 1);
+  f[0] = std::byte{0xEE};
+  dist::archive_reader r(f);
+  EXPECT_THROW(svc::read_frame_header(r), std::runtime_error);
+}
+
+// --------------------------- compiled-model cache -------------------------
+
+TEST(ModelCache, SharesOneCompilePerDistinctModel) {
+  const auto net = models::make_birth_death({});
+  const auto lv = models::make_lotka_volterra({});
+  const auto f1 =
+      dist::encode_model(cwcsim::model_ref{nullptr, &net, nullptr});
+  const auto f2 = dist::encode_model(cwcsim::model_ref{nullptr, &lv, nullptr});
+  ASSERT_NE(dist::model_fingerprint(f1), dist::model_fingerprint(f2));
+  // Deterministic encoding: the same model fingerprints identically.
+  EXPECT_EQ(dist::model_fingerprint(f1),
+            dist::model_fingerprint(
+                dist::encode_model(cwcsim::model_ref{nullptr, &net, nullptr})));
+
+  svc::model_cache cache;
+  bool hit = true;
+  const auto a1 = cache.get_or_compile(f1, &hit);
+  EXPECT_FALSE(hit);
+  const auto a2 = cache.get_or_compile(f1, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(a1.get(), a2.get());  // the SAME artifact, not an equal one
+  const auto b1 = cache.get_or_compile(f2, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(a1.get(), b1.get());
+
+  const auto st = cache.stats();
+  EXPECT_EQ(st.compiles, 2u);
+  EXPECT_EQ(st.hits, 1u);
+}
+
+// ------------------------------- run server -------------------------------
+
+TEST(Service, BitExactWithMulticoreSameSeed) {
+  const auto m = models::make_neurospora_cwc({});
+  const auto cfg = small_config();
+  const auto batch = cwcsim::simulate(m, cfg);
+  ASSERT_FALSE(batch.windows.empty());
+
+  svc::run_server server;
+  std::vector<cwcsim::window_summary> streamed;
+  auto s = cwcsim::run_builder()
+               .model(m)
+               .config(cfg)
+               .backend(cwcsim::service{&server})
+               .open();
+  s.on_window(
+      [&](const cwcsim::window_summary& w) { streamed.push_back(w); });
+  const auto report = s.wait();
+
+  EXPECT_EQ(report.backend, "service");
+  EXPECT_FALSE(report.stopped);
+  expect_windows_bitexact(report.result.windows, batch.windows);
+  expect_windows_bitexact(streamed, batch.windows);
+  EXPECT_EQ(report.result.completions.size(), cfg.num_trajectories);
+  ASSERT_TRUE(report.network.has_value());
+  EXPECT_GT(report.network->messages, 0u);
+  EXPECT_GT(report.network->bytes, 0.0);
+  EXPECT_GT(report.network->model_bytes, 0.0);
+  EXPECT_GT(report.network->grants, 0u);
+
+  const auto st = server.stats();
+  EXPECT_EQ(st.sessions_opened, 1u);
+  EXPECT_EQ(st.sessions_completed, 1u);
+  EXPECT_EQ(st.cache.compiles, 1u);
+  EXPECT_EQ(st.quanta_executed, st.quanta_accepted + st.quanta_discarded);
+  EXPECT_EQ(st.quanta_discarded, 0u);
+}
+
+TEST(Service, EightTenantsOneCompileEveryTenantFinishes) {
+  const auto m = models::make_neurospora_cwc({});
+  const auto cfg = small_config();
+  const auto batch = cwcsim::simulate(m, cfg);
+
+  svc::svc_config sc;
+  sc.pool_workers = 4;
+  svc::run_server server(sc);
+
+  constexpr std::size_t kTenants = 8;
+  std::vector<cwcsim::run_report> reports(kTenants);
+  std::vector<std::thread> tenants;
+  tenants.reserve(kTenants);
+  for (std::size_t i = 0; i < kTenants; ++i)
+    tenants.emplace_back([&, i] {
+      reports[i] = cwcsim::run(m, cfg, cwcsim::service{&server});
+    });
+  for (auto& t : tenants) t.join();
+
+  // Every tenant finished (no starvation) with the full bit-exact stream.
+  for (const auto& rep : reports) {
+    EXPECT_EQ(rep.result.completions.size(), cfg.num_trajectories);
+    expect_windows_bitexact(rep.result.windows, batch.windows);
+  }
+
+  // Eight concurrent opens of the same model: exactly ONE compile.
+  const auto st = server.stats();
+  EXPECT_EQ(st.sessions_opened, kTenants);
+  EXPECT_EQ(st.sessions_completed, kTenants);
+  EXPECT_EQ(st.cache.compiles, 1u);
+  EXPECT_EQ(st.cache.hits, kTenants - 1u);
+  EXPECT_EQ(st.quanta_executed, st.quanta_accepted + st.quanta_discarded);
+  EXPECT_EQ(st.quanta_discarded, 0u);
+}
+
+TEST(Service, SlowSubscriberThrottlesOnlyItself) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  cfg.kmeans_k = 0;
+  auto slow_cfg = cfg;
+  slow_cfg.t_end = 48.0;  // ~4x the windows of the fast tenant
+  slow_cfg.window_size = 2;
+  slow_cfg.window_slide = 2;
+
+  svc::svc_config sc;
+  sc.pool_workers = 2;
+  svc::run_server server(sc);
+  const auto batch_fast = cwcsim::simulate(m, cfg);
+  const auto batch_slow = cwcsim::simulate(m, slow_cfg);
+
+  std::atomic<std::uint64_t> slow_completions{0};
+
+  // The slow tenant: tiny credit window and a subscriber that naps per
+  // window, so its pending queue saturates and the scheduler parks it.
+  cwcsim::service slow_be{&server};
+  slow_be.window_credits = 2;
+  auto slow = cwcsim::run_builder()
+                  .model(m)
+                  .config(slow_cfg)
+                  .backend(slow_be)
+                  .open();
+  slow.on_window([&](const cwcsim::window_summary&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  slow.on_trajectory_done(
+      [&](const cwcsim::task_done&) { ++slow_completions; });
+  slow.start();
+
+  // The fast co-tenant starts second and must finish first by a wide
+  // margin: the slow subscriber's stalls (~1s of naps across its ~48
+  // windows, with the scheduler parking it at 2 pending windows) must not
+  // hold the shared pool. Deliberately lenient — no wall-clock ratios —
+  // so the assertion stays solid under sanitizers and loaded CI.
+  auto fast = cwcsim::run_builder()
+                  .model(m)
+                  .config(cfg)
+                  .backend(cwcsim::service{&server})
+                  .open();
+  const auto fast_report = fast.wait();
+  EXPECT_LT(slow_completions.load(), slow_cfg.num_trajectories)
+      << "the throttled tenant should still be mid-run when the fast "
+         "co-tenant completes";
+
+  const auto slow_report = slow.wait();
+
+  // Backpressure throttles — it never corrupts: both streams bit-exact.
+  expect_windows_bitexact(fast_report.result.windows, batch_fast.windows);
+  expect_windows_bitexact(slow_report.result.windows, batch_slow.windows);
+  EXPECT_EQ(fast_report.result.completions.size(), cfg.num_trajectories);
+  EXPECT_EQ(slow_report.result.completions.size(),
+            slow_cfg.num_trajectories);
+
+  const auto st = server.stats();
+  EXPECT_EQ(st.sessions_completed, 2u);
+  EXPECT_EQ(st.quanta_executed, st.quanta_accepted + st.quanta_discarded);
+}
+
+TEST(Service, DisconnectMidRunReleasesQuantaAndBalancesCounters) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  cfg.t_end = 200.0;  // long campaign the tenant will abandon
+
+  svc::svc_config sc;
+  sc.pool_workers = 2;
+  sc.default_window_credits = 2;
+  svc::run_server server(sc);
+
+  // A raw protocol client: open, consume a couple of windows, vanish.
+  {
+    auto conn = server.connect();
+    svc::open_request rq;
+    rq.conn_id = conn.id();
+    rq.cfg = cfg;
+    rq.model_frame =
+        dist::encode_model(cwcsim::model_ref{&m, nullptr, nullptr});
+    conn.send(svc::encode_open(rq));
+
+    int windows_seen = 0;
+    while (windows_seen < 2) {
+      auto msg = conn.recv_for(1.0);
+      ASSERT_TRUE(msg.has_value()) << "server went silent mid-stream";
+      dist::archive_reader r(*msg);
+      const auto tag = svc::read_frame_header(r);
+      ASSERT_NE(tag, svc::svc_tag::open_error);
+      if (tag == svc::svc_tag::window) ++windows_seen;
+    }
+    // conn destructor: disconnect without cancel — a vanished tenant.
+  }
+
+  // The torn-down session's leases return to the pool: a fresh tenant
+  // gets full service and completes.
+  auto second_cfg = small_config();
+  const auto report = cwcsim::run(m, second_cfg, cwcsim::service{&server});
+  EXPECT_EQ(report.result.completions.size(), second_cfg.num_trajectories);
+
+  // Give in-flight quanta of the torn-down session time to drain, then
+  // the books must balance exactly-once: executed == accepted + discarded.
+  svc::server_stats st = server.stats();
+  for (int i = 0; i < 100; ++i) {
+    const auto prev = st.quanta_executed;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    st = server.stats();
+    if (st.quanta_executed == prev) break;
+  }
+  EXPECT_EQ(st.sessions_opened, 2u);
+  EXPECT_EQ(st.sessions_completed, 1u);
+  EXPECT_EQ(st.sessions_cancelled, 1u);
+  EXPECT_EQ(st.quanta_executed, st.quanta_accepted + st.quanta_discarded);
+}
+
+TEST(Service, RequestStopCancelsCooperatively) {
+  const auto m = models::make_neurospora_cwc({});
+  auto cfg = small_config();
+  cfg.t_end = 200.0;
+  cfg.window_size = 4;
+  cfg.window_slide = 4;
+  cfg.kmeans_k = 0;
+
+  svc::run_server server;
+  auto s = cwcsim::run_builder()
+               .model(m)
+               .config(cfg)
+               .backend(cwcsim::service{&server})
+               .open();
+  std::uint64_t windows_seen = 0;
+  s.on_window([&](const cwcsim::window_summary&) {
+    if (++windows_seen == 2) s.request_stop();
+  });
+  const auto report = s.wait();
+
+  EXPECT_TRUE(report.stopped);
+  EXPECT_GE(windows_seen, 2u);
+  EXPECT_LT(report.result.windows.size(),
+            cfg.num_samples() / cfg.window_slide);
+  EXPECT_LT(report.result.completions.size(), cfg.num_trajectories);
+  for (std::size_t i = 0; i + 1 < report.result.windows.size(); ++i)
+    EXPECT_EQ(report.result.windows[i + 1].first_sample -
+                  report.result.windows[i].first_sample,
+              cfg.window_slide);
+
+  const auto st = server.stats();
+  EXPECT_EQ(st.sessions_cancelled, 1u);
+  EXPECT_EQ(st.quanta_executed, st.quanta_accepted + st.quanta_discarded);
+}
+
+TEST(Service, AdmissionControlRejectsOverCapacityAndBadConfig) {
+  const auto m = models::make_neurospora_cwc({});
+  auto long_cfg = small_config();
+  long_cfg.t_end = 500.0;
+
+  svc::svc_config sc;
+  sc.max_sessions = 1;
+  sc.default_window_credits = 1;
+  svc::run_server server(sc);
+
+  // Occupy the single slot with a parked session (no credits granted).
+  auto parked = server.connect();
+  {
+    svc::open_request rq;
+    rq.conn_id = parked.id();
+    rq.cfg = long_cfg;
+    rq.model_frame =
+        dist::encode_model(cwcsim::model_ref{&m, nullptr, nullptr});
+    parked.send(svc::encode_open(rq));
+    auto msg = parked.recv_for(1.0);
+    ASSERT_TRUE(msg.has_value());
+    dist::archive_reader r(*msg);
+    ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::open_ok);
+  }
+
+  // Second tenant: server at capacity -> typed failure on the client.
+  EXPECT_THROW(cwcsim::run(m, small_config(), cwcsim::service{&server}),
+               std::runtime_error);
+
+  // Server-side validation: a degenerate config is rejected per-tenant
+  // even when the client driver is bypassed.
+  {
+    auto conn = server.connect();
+    svc::open_request rq;
+    rq.conn_id = conn.id();
+    rq.cfg = small_config();
+    rq.cfg.window_slide = 0;  // invalid
+    rq.model_frame =
+        dist::encode_model(cwcsim::model_ref{&m, nullptr, nullptr});
+    conn.send(svc::encode_open(rq));
+    auto msg = conn.recv_for(1.0);
+    ASSERT_TRUE(msg.has_value());
+    dist::archive_reader r(*msg);
+    EXPECT_EQ(svc::read_frame_header(r), svc::svc_tag::open_error);
+  }
+
+  // Client-side validation catches the bad backend descriptor up front.
+  EXPECT_THROW(cwcsim::run_builder()
+                   .model(m)
+                   .config(small_config())
+                   .backend(cwcsim::service{nullptr})
+                   .open(),
+               cwcsim::config_error);
+  cwcsim::service bad{&server};
+  bad.weight = 0.0;
+  EXPECT_THROW(
+      cwcsim::run_builder().model(m).config(small_config()).backend(bad).open(),
+      cwcsim::config_error);
+  auto trace_cfg = small_config();
+  trace_cfg.capture_trace = true;
+  EXPECT_THROW(cwcsim::run_builder()
+                   .model(m)
+                   .config(trace_cfg)
+                   .backend(cwcsim::service{&server})
+                   .open(),
+               cwcsim::config_error);
+
+  const auto st = server.stats();
+  EXPECT_GE(st.sessions_rejected, 2u);  // capacity + bad config
+}
+
+TEST(Service, CustomRateLawFallsBackToLocalModelSharing) {
+  // Custom rate laws cannot cross the wire (dist/model_codec.hpp); the
+  // service driver registers the compiled artifact in-process instead,
+  // transparently, and the run stays bit-exact with multicore.
+  cwc::reaction_network net;
+  const auto a = net.declare_species("A");
+  net.set_initial(a, 60);
+  net.add_reaction("opaque-decay", {{a, 1}}, {},
+                   cwc::rate_law::custom([](const cwc::rate_ctx& ctx) {
+                     return 0.4 * ctx.combinations;
+                   }));
+  ASSERT_FALSE(
+      dist::wire_encodable(cwcsim::model_ref{nullptr, &net, nullptr}));
+
+  auto cfg = small_config();
+  cfg.kmeans_k = 0;
+  const auto batch = cwcsim::simulate(net, cfg);
+
+  svc::run_server server;
+  const auto report = cwcsim::run(net, cfg, cwcsim::service{&server});
+  expect_windows_bitexact(report.result.windows, batch.windows);
+  EXPECT_EQ(report.result.completions.size(), cfg.num_trajectories);
+  ASSERT_TRUE(report.network.has_value());
+  EXPECT_EQ(report.network->model_bytes, 0.0);  // nothing crossed the wire
+  EXPECT_EQ(server.stats().cache.compiles, 0u);  // cache bypassed
+}
+
+TEST(Service, WeightedTenantsBothComplete) {
+  // Unequal weights: both tenants must still complete with exact streams
+  // (proportional service is a throughput property; completion and
+  // bit-exactness are the hard guarantees).
+  const auto m = models::make_neurospora_cwc({});
+  const auto cfg = small_config();
+  const auto batch = cwcsim::simulate(m, cfg);
+
+  svc::svc_config sc;
+  sc.pool_workers = 2;
+  svc::run_server server(sc);
+
+  cwcsim::service heavy{&server};
+  heavy.weight = 4.0;
+  cwcsim::service light{&server};
+  light.weight = 0.25;
+
+  cwcsim::run_report heavy_rep, light_rep;
+  std::thread t1(
+      [&] { heavy_rep = cwcsim::run(m, cfg, heavy); });
+  std::thread t2(
+      [&] { light_rep = cwcsim::run(m, cfg, light); });
+  t1.join();
+  t2.join();
+
+  expect_windows_bitexact(heavy_rep.result.windows, batch.windows);
+  expect_windows_bitexact(light_rep.result.windows, batch.windows);
+  const auto st = server.stats();
+  EXPECT_EQ(st.sessions_completed, 2u);
+  EXPECT_EQ(st.quanta_executed, st.quanta_accepted + st.quanta_discarded);
+}
+
+}  // namespace
