@@ -104,7 +104,8 @@ struct gpu {
 /// server must outlive the run.
 struct service {
   svc::run_server* server = nullptr;
-  /// Fair-share weight under contention (relative quanta share).
+  /// Fair-share weight under contention (relative quanta share),
+  /// in [1/1024, 1024].
   double weight = 1.0;
   /// Pending-window bound / initial credit grant (0 = server default).
   std::uint64_t window_credits = 0;

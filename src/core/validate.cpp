@@ -55,8 +55,9 @@ void validate(const sim_config& cfg, const backend& b) {
     void operator()(const service& s) const {
       if (s.server == nullptr)
         throw config_error("service.server", "service backend needs a server");
-      if (!(s.weight > 0.0))
-        throw config_error("service.weight", "weight must be positive");
+      if (!(s.weight >= 1.0 / 1024.0) || !(s.weight <= 1024.0))
+        throw config_error("service.weight",
+                           "weight must be in [1/1024, 1024]");
       if (!(s.tick_s > 0.0))
         throw config_error("service.tick_s", "poll slice must be positive");
       if (cfg.capture_trace)

@@ -1,10 +1,13 @@
 #include "svc/run_server.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -162,12 +165,15 @@ struct run_server::impl {
     {
       const std::lock_guard<std::mutex> lk(sched_mu_);
       shutting_down_ = true;
-      for (auto& s : ring_)
-        if (s->ending == end_kind::none && !s->finished)
-          begin_teardown_locked(*s, end_kind::closed, {});
-      // Sessions parked finished-but-undrained will never get more
-      // credits: release them too.
-      for (auto& [id, s] : sessions_)
+      // Snapshot first: an idle session (inflight == 0) tears down
+      // synchronously through retire_locked, which erases it from both
+      // sessions_ and ring_ — erasing while range-iterating either
+      // container would invalidate the loop. This also releases sessions
+      // parked finished-but-undrained, which would never get more credits.
+      std::vector<std::shared_ptr<session>> live;
+      live.reserve(sessions_.size());
+      for (auto& [id, s] : sessions_) live.push_back(s);
+      for (auto& s : live)
         if (!s->finalized && s->ending == end_kind::none)
           begin_teardown_locked(*s, end_kind::closed, {});
       sched_cv_.notify_all();
@@ -263,8 +269,11 @@ struct run_server::impl {
       reject("capture_trace is not supported over the service backend");
       return;
     }
-    if (!(rq.weight > 0.0) || !(rq.weight <= 1024.0)) {
-      reject("session weight must be in (0, 1024]");
+    // The lower bound keeps the DRR fast-forward cheap: a session with a
+    // vanishing weight would otherwise stall the scheduler for ~1/weight
+    // rounds before earning its first quantum.
+    if (!(rq.weight >= 1.0 / 1024.0) || !(rq.weight <= 1024.0)) {
+      reject("session weight must be in [1/1024, 1024]");
       return;
     }
 
@@ -316,18 +325,21 @@ struct run_server::impl {
                 : "server at capacity"));
         return;
       }
+      // The ack must be the first downlink frame (proto.hpp: open_ok is
+      // the admission frame that precedes streaming), so send it before
+      // the session becomes visible to workers — a fast run could
+      // otherwise stream windows and retire ahead of the ack.
+      open_ack ack;
+      ack.session_id = s->id;
+      ack.pool_workers = cfg_.pool_workers == 0 ? 1 : cfg_.pool_workers;
+      ack.window_credits = s->capacity;
+      ack.cache_hit = cache_hit;
+      down->send(encode_open_ack(ack));
       sessions_.emplace(s->id, s);
       ring_.push_back(s);
       ++stats_.sessions_opened;
       sched_cv_.notify_all();
     }
-
-    open_ack ack;
-    ack.session_id = s->id;
-    ack.pool_workers = cfg_.pool_workers == 0 ? 1 : cfg_.pool_workers;
-    ack.window_credits = s->capacity;
-    ack.cache_hit = cache_hit;
-    down->send(encode_open_ack(ack));
   }
 
   // -------------------------------------------------------- flow control
@@ -406,7 +418,23 @@ struct run_server::impl {
         s.fresh = true;
         ++cursor_;
       }
-      if (banked) continue;  // another pass banks more deficit
+      if (banked) {
+        // Every eligible session banks `weight` once per pass, so the
+        // passes until the fastest-accruing one reaches a full quantum
+        // are known in advance. Jump everyone ahead by that many passes
+        // in one step instead of rescanning the ring ~1/weight times
+        // while holding sched_mu_ (which would block the dispatcher and
+        // every co-tenant whenever a low-weight session is next in line).
+        double passes = std::numeric_limits<double>::infinity();
+        for (const auto& sp : ring_)
+          if (eligible(*sp))
+            passes = std::min(passes,
+                              std::ceil((1.0 - sp->deficit) / sp->weight));
+        if (std::isfinite(passes) && passes > 0.0)
+          for (const auto& sp : ring_)
+            if (eligible(*sp)) sp->deficit += passes * sp->weight;
+        continue;
+      }
       sched_cv_.wait_for(lk, std::chrono::milliseconds(50));
     }
   }
@@ -629,16 +657,24 @@ void client_conn::send(dist::byte_buffer frame) {
 }
 
 std::optional<dist::byte_buffer> client_conn::recv_for(double timeout_s) {
+  util::expects(down_ != nullptr, "recv_for on a closed client_conn");
   return down_->recv_for(timeout_s);
 }
 
-bool client_conn::downlink_drained() const { return down_->drained(); }
+bool client_conn::downlink_drained() const {
+  util::expects(down_ != nullptr, "downlink_drained on a closed client_conn");
+  return down_->drained();
+}
 
 std::uint64_t client_conn::messages_received() const {
+  util::expects(down_ != nullptr, "messages_received on a closed client_conn");
   return down_->messages_sent();
 }
 
-std::uint64_t client_conn::bytes_received() const { return down_->bytes_sent(); }
+std::uint64_t client_conn::bytes_received() const {
+  util::expects(down_ != nullptr, "bytes_received on a closed client_conn");
+  return down_->bytes_sent();
+}
 
 void client_conn::close() {
   if (up_ == nullptr) return;

@@ -573,4 +573,47 @@ TEST(Service, WeightedTenantsBothComplete) {
   EXPECT_EQ(st.quanta_executed, st.quanta_accepted + st.quanta_discarded);
 }
 
+TEST(Service, DestroyServerWithLiveParkedSessionsClosesEveryDownlink) {
+  // Regression: stop() tears sessions down while walking the registry, and
+  // an idle session (no quanta in flight) retires synchronously, erasing
+  // itself from the containers being iterated. Several live parked
+  // sessions at destruction must not derail the teardown loop (ASan/TSan
+  // guard the iterator invalidation), and every downlink must still reach
+  // EOS so abandoned subscribers see drained, not a hang.
+  const auto m = models::make_neurospora_cwc({});
+  auto long_cfg = small_config();
+  long_cfg.t_end = 500.0;
+
+  std::vector<svc::client_conn> conns;
+  {
+    svc::svc_config sc;
+    sc.default_window_credits = 1;
+    svc::run_server server(sc);
+    for (int i = 0; i < 4; ++i) {
+      auto conn = server.connect();
+      svc::open_request rq;
+      rq.conn_id = conn.id();
+      rq.cfg = long_cfg;
+      rq.model_frame =
+          dist::encode_model(cwcsim::model_ref{&m, nullptr, nullptr});
+      conn.send(svc::encode_open(rq));
+      auto msg = conn.recv_for(1.0);
+      ASSERT_TRUE(msg.has_value());
+      dist::archive_reader r(*msg);
+      ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::open_ok);
+      conns.push_back(std::move(conn));
+    }
+    // With one credit and a long run, every session soon hits its pending
+    // bound and parks with nothing in flight; destroy the server while all
+    // four are still live.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }  // ~run_server
+
+  for (auto& c : conns) {
+    while (c.recv_for(0.05).has_value()) {
+    }
+    EXPECT_TRUE(c.downlink_drained());
+  }
+}
+
 }  // namespace
