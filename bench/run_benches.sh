@@ -60,7 +60,7 @@ fi
 # svc_throughput is also bespoke but emits google-benchmark-shaped JSON
 # (--json), so it merges through the same loop as the microbenchmarks.
 if [ -x "$BUILD_DIR/bench/svc_throughput" ]; then
-  "$BUILD_DIR/bench/svc_throughput" --json \
+  "$BUILD_DIR/bench/svc_throughput" --json --chaos \
     --trajectories "${SVC_TRAJECTORIES:-16}" \
     --t-end "${SVC_T_END:-20}" > "$TMP/svc_throughput.json" || true
 fi

@@ -107,10 +107,16 @@ struct service {
   /// Fair-share weight under contention (relative quanta share),
   /// in [1/1024, 1024].
   double weight = 1.0;
-  /// Pending-window bound / initial credit grant (0 = server default).
+  /// Stream-frame window bound (pending queue and in-flight replay
+  /// buffer; 0 = server default).
   std::uint64_t window_credits = 0;
   /// Client-side downlink poll slice in seconds.
   double tick_s = 0.01;
+  /// Liveness heartbeat cadence (uplink lease refresh + cumulative ack).
+  double heartbeat_s = 0.25;
+  /// Shed-open (retry_after) attempts before the driver gives up; also
+  /// bounds the capped exponential backoff between attempts.
+  unsigned open_retries = 5;
 };
 
 /// Where a run executes. Swap this one value to move the same model and

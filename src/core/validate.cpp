@@ -51,6 +51,12 @@ void validate(const sim_config& cfg, const backend& b) {
       if (d.network.drop_prob < 0.0 || d.network.drop_prob >= 1.0)
         throw config_error("distributed.network.drop_prob",
                            "drop probability must be in [0, 1)");
+      if (d.network.dup_prob < 0.0 || d.network.dup_prob >= 1.0)
+        throw config_error("distributed.network.dup_prob",
+                           "duplication probability must be in [0, 1)");
+      if (!(d.network.jitter_s >= 0.0))
+        throw config_error("distributed.network.jitter_s",
+                           "jitter bound must be non-negative");
     }
     void operator()(const service& s) const {
       if (s.server == nullptr)
@@ -60,6 +66,9 @@ void validate(const sim_config& cfg, const backend& b) {
                            "weight must be in [1/1024, 1024]");
       if (!(s.tick_s > 0.0))
         throw config_error("service.tick_s", "poll slice must be positive");
+      if (!(s.heartbeat_s > 0.0))
+        throw config_error("service.heartbeat_s",
+                           "heartbeat cadence must be positive");
       if (cfg.capture_trace)
         throw config_error("capture_trace",
                            "trace capture is not supported over the service "

@@ -1,6 +1,9 @@
 #include "dist/net_channel.hpp"
 
+#include <cmath>
 #include <thread>
+
+#include "util/check.hpp"
 
 namespace dist {
 
@@ -51,9 +54,28 @@ void net_channel::send(byte_buffer msg) {
   }
   const auto latency = to_duration(params_.latency_s);
 
+  auto deliver_at = link_free_at_ + latency;
+  if (params_.jitter_s > 0.0)
+    deliver_at += to_duration(jitter_rng_.next_uniform() * params_.jitter_s);
+  // FIFO clamp: recv_for() relies on delivery times being monotone in send
+  // order, so a jittered message delays everything behind it (a congested
+  // link) instead of being overtaken.
+  if (deliver_at < last_deliver_at_) deliver_at = last_deliver_at_;
+  last_deliver_at_ = deliver_at;
+
   ++messages_;
   bytes_ += msg.size();
-  q_.push_back(in_flight{std::move(msg), link_free_at_ + latency});
+  // Duplication model: the copy is a retransmit racing its original —
+  // delivered immediately behind it, and counted as delivered traffic.
+  const bool duplicate =
+      params_.dup_prob > 0.0 && dup_rng_.next_uniform() < params_.dup_prob;
+  if (duplicate) {
+    ++duplicated_messages_;
+    ++messages_;
+    bytes_ += msg.size();
+    q_.push_back(in_flight{msg, deliver_at});
+  }
+  q_.push_back(in_flight{std::move(msg), deliver_at});
   cv_.notify_one();
 }
 
@@ -75,6 +97,11 @@ std::optional<byte_buffer> net_channel::recv() {
 }
 
 std::optional<byte_buffer> net_channel::recv_for(double timeout_s) {
+  // A NaN timeout is a caller bug (comparisons below would silently treat
+  // it as "never wait"); a negative or zero one degrades to an immediate
+  // poll of already-deliverable messages.
+  util::expects(!std::isnan(timeout_s), "net_channel::recv_for: NaN timeout");
+  if (timeout_s < 0.0) timeout_s = 0.0;
   const auto deadline = clock::now() + to_duration(timeout_s);
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
@@ -91,6 +118,11 @@ std::optional<byte_buffer> net_channel::recv_for(double timeout_s) {
       return std::nullopt;
     }
   }
+}
+
+std::size_t net_channel::writers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return writers_;
 }
 
 bool net_channel::drained() const {
@@ -116,6 +148,11 @@ std::uint64_t net_channel::messages_dropped() const {
 std::uint64_t net_channel::bytes_dropped() const {
   std::lock_guard<std::mutex> lk(mu_);
   return dropped_bytes_;
+}
+
+std::uint64_t net_channel::messages_duplicated() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return duplicated_messages_;
 }
 
 }  // namespace dist

@@ -13,10 +13,16 @@
 //   - Each message becomes available latency_s + serialisation time after
 //     send(); the link serialises messages at bytes_per_s (0 = infinite).
 //   - With drop_prob > 0, send() discards messages according to the seeded
-//     loss stream; dropped traffic is counted but never delivered.
+//     loss stream; dropped traffic is counted but never delivered. With
+//     dup_prob > 0, a delivered message may be enqueued twice; with
+//     jitter_s > 0, a seeded uniform extra delay is added per message
+//     (FIFO order preserved — a delayed message holds back what follows).
+//     Each knob draws from its own seeded stream only when non-zero, so
+//     enabling one never perturbs another's fault pattern.
 //   - recv_for() is the timeout form: a consumer that must stay live when
 //     a producer vanishes without closing (a dead host) waits in bounded
-//     slices instead of blocking forever.
+//     slices instead of blocking forever. Non-positive timeouts clamp to
+//     an immediate poll; NaN is a precondition violation.
 #pragma once
 
 #include <chrono>
@@ -37,7 +43,10 @@ class net_channel {
  public:
   net_channel() = default;
   explicit net_channel(net_params p)
-      : params_(p), drop_rng_(p.drop_seed, 0) {}
+      : params_(p),
+        drop_rng_(p.drop_seed, 0),
+        dup_rng_(p.drop_seed, 1),
+        jitter_rng_(p.drop_seed, 2) {}
 
   net_channel(const net_channel&) = delete;
   net_channel& operator=(const net_channel&) = delete;
@@ -70,12 +79,21 @@ class net_channel {
   /// would return std::nullopt immediately).
   bool drained() const;
 
+  /// Current registered writer count. 0 means the channel is at EOS once
+  /// the queue empties — but EOS does not latch: a later add_writer()
+  /// re-opens the channel for the same reader (the run server uses this
+  /// to re-attach a parked session to the connection it had released).
+  std::size_t writers() const;
+
   std::uint64_t messages_sent() const;
   std::uint64_t bytes_sent() const;
   /// Messages/bytes lost to the seeded drop stream (never delivered, not
   /// counted in messages_sent()/bytes_sent()).
   std::uint64_t messages_dropped() const;
   std::uint64_t bytes_dropped() const;
+  /// Extra copies enqueued by the seeded duplication stream (each copy is
+  /// also counted in messages_sent(), since it is delivered).
+  std::uint64_t messages_duplicated() const;
   const net_params& params() const noexcept { return params_; }
 
  private:
@@ -100,7 +118,11 @@ class net_channel {
   std::uint64_t bytes_ = 0;
   std::uint64_t dropped_messages_ = 0;
   std::uint64_t dropped_bytes_ = 0;
-  util::rng_stream drop_rng_{};  ///< seeded loss stream (drop_prob > 0 only)
+  std::uint64_t duplicated_messages_ = 0;
+  clock::time_point last_deliver_at_{};  ///< FIFO clamp under jitter
+  util::rng_stream drop_rng_{};    ///< seeded loss stream (drop_prob > 0 only)
+  util::rng_stream dup_rng_{};     ///< seeded duplication stream
+  util::rng_stream jitter_rng_{};  ///< seeded extra-delay stream
 };
 
 /// RAII writer registration: closes the writer on every exit path, so an

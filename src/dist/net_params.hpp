@@ -17,7 +17,17 @@ struct net_params {
   /// never draws from the stream at all — the channel is bit-exact with
   /// the lossless behaviour it had before loss modeling existed.
   double drop_prob = 0.0;
-  std::uint64_t drop_seed = 0x5EEDD1CEULL;  ///< loss-stream seed
+  /// Probability that a delivered message is delivered TWICE (a retransmit
+  /// racing its original). Drawn from an independent seeded stream; the
+  /// default 0.0 never draws. Duplicates are delivered back-to-back and
+  /// counted by net_channel::messages_duplicated().
+  double dup_prob = 0.0;
+  /// Upper bound of a uniform extra queuing delay added per message, from
+  /// an independent seeded stream. FIFO order is preserved (a delayed
+  /// message holds everything behind it back, like a congested link);
+  /// the default 0.0 never draws.
+  double jitter_s = 0.0;
+  std::uint64_t drop_seed = 0x5EEDD1CEULL;  ///< fault-stream seed
 };
 
 }  // namespace dist

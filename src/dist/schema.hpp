@@ -25,7 +25,9 @@ namespace dist {
 
 /// THE single bump point. Incompatible change to any framed layout =>
 /// +1 here, and every decoder in this build rejects older frames.
-inline constexpr std::uint8_t wire_schema_version = 2;
+/// v3: svc resilience frames — sequenced downlink stream frames,
+/// cumulative acks, heartbeat/retry_after, resume fields in open.
+inline constexpr std::uint8_t wire_schema_version = 3;
 
 /// Framed-archive header version (put_schema_header/check_schema_header).
 inline constexpr std::uint8_t archive_schema_version = wire_schema_version;

@@ -1,5 +1,7 @@
 #include "svc/model_cache.hpp"
 
+#include <algorithm>
+
 #include "dist/model_codec.hpp"
 
 namespace svc {
@@ -11,23 +13,51 @@ std::shared_ptr<const cwc::compiled_model> model_cache::get_or_compile(
   // observe exactly one compile (the losers wait, then hit). Opens are
   // rare next to quantum execution, so the serialization is immaterial.
   const std::lock_guard<std::mutex> lk(mu_);
-  auto& bucket = map_[key];
-  for (const entry& e : bucket)
-    if (e.frame == frame) {
-      ++stats_.hits;
-      if (cache_hit != nullptr) *cache_hit = true;
-      return e.artifact;
-    }
+  auto bit = map_.find(key);
+  if (bit != map_.end()) {
+    for (lru_list::iterator it : bit->second)
+      if (it->frame == frame) {
+        ++stats_.hits;
+        if (cache_hit != nullptr) *cache_hit = true;
+        lru_.splice(lru_.begin(), lru_, it);  // touch: most recent
+        return it->artifact;
+      }
+  }
   auto artifact = dist::decode_model(frame);
   ++stats_.compiles;
   if (cache_hit != nullptr) *cache_hit = false;
-  bucket.push_back(entry{frame, artifact});
+  lru_.push_front(entry{key, frame, artifact});
+  map_[key].push_back(lru_.begin());
+  evict_locked();
   return artifact;
+}
+
+void model_cache::evict_locked() {
+  if (max_entries_ == 0) return;
+  // Walk from the cold end, dropping UNPINNED entries only: use_count > 1
+  // means a session (or a caller) still holds the artifact — evicting it
+  // from the cache would not free it, just force a pointless recompile
+  // for the next tenant of a model that is demonstrably in use.
+  auto it = lru_.end();
+  while (lru_.size() > max_entries_ && it != lru_.begin()) {
+    --it;
+    if (it->artifact.use_count() > 1) continue;  // pinned: skip
+    auto& bucket = map_[it->key];
+    bucket.erase(std::find(bucket.begin(), bucket.end(), it));
+    if (bucket.empty()) map_.erase(it->key);
+    it = lru_.erase(it);
+    ++stats_.evictions;
+  }
 }
 
 cache_stats model_cache::stats() const {
   const std::lock_guard<std::mutex> lk(mu_);
   return stats_;
+}
+
+std::size_t model_cache::size() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return lru_.size();
 }
 
 }  // namespace svc

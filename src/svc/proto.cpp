@@ -14,6 +14,14 @@ dist::archive_writer begin_frame(svc_tag tag) {
   return w;
 }
 
+dist::byte_buffer encode_addressed_ack(svc_tag tag, std::uint64_t conn_id,
+                                       std::uint64_t consumed_total) {
+  auto w = begin_frame(tag);
+  w.put<std::uint64_t>(conn_id);
+  w.put<std::uint64_t>(consumed_total);
+  return w.take();
+}
+
 }  // namespace
 
 // ---- uplink ------------------------------------------------------------
@@ -23,6 +31,8 @@ dist::byte_buffer encode_open(const open_request& rq) {
   w.put<std::uint64_t>(rq.conn_id);
   w.put<double>(rq.weight);
   w.put<std::uint64_t>(rq.window_credits);
+  w.put<std::uint64_t>(rq.resume_token);
+  w.put<std::uint64_t>(rq.resume_next_seq);
   dist::write_sim_config(w, rq.cfg);
   w.put_vector(rq.model_frame);
   w.put<std::uint64_t>(rq.local_model);
@@ -34,23 +44,28 @@ open_request read_open(dist::archive_reader& r) {
   rq.conn_id = r.get<std::uint64_t>();
   rq.weight = r.get<double>();
   rq.window_credits = r.get<std::uint64_t>();
+  rq.resume_token = r.get<std::uint64_t>();
+  rq.resume_next_seq = r.get<std::uint64_t>();
   rq.cfg = dist::read_sim_config(r);
   rq.model_frame = r.get_vector<std::byte>();
   rq.local_model = r.get<std::uint64_t>();
   return rq;
 }
 
-dist::byte_buffer encode_credit(std::uint64_t conn_id, std::uint64_t n) {
-  auto w = begin_frame(svc_tag::credit);
-  w.put<std::uint64_t>(conn_id);
-  w.put<std::uint64_t>(n);
-  return w.take();
+dist::byte_buffer encode_credit(std::uint64_t conn_id,
+                                std::uint64_t consumed_total) {
+  return encode_addressed_ack(svc_tag::credit, conn_id, consumed_total);
+}
+
+dist::byte_buffer encode_heartbeat(std::uint64_t conn_id,
+                                   std::uint64_t consumed_total) {
+  return encode_addressed_ack(svc_tag::heartbeat, conn_id, consumed_total);
 }
 
 credit_grant read_credit(dist::archive_reader& r) {
   credit_grant g;
   g.conn_id = r.get<std::uint64_t>();
-  g.n = r.get<std::uint64_t>();
+  g.consumed_total = r.get<std::uint64_t>();
   return g;
 }
 
@@ -75,18 +90,22 @@ std::uint64_t read_conn_id(dist::archive_reader& r) {
 dist::byte_buffer encode_open_ack(const open_ack& a) {
   auto w = begin_frame(svc_tag::open_ok);
   w.put<std::uint64_t>(a.session_id);
+  w.put<std::uint64_t>(a.session_token);
   w.put<std::uint32_t>(a.pool_workers);
   w.put<std::uint64_t>(a.window_credits);
   w.put<std::uint8_t>(a.cache_hit ? 1 : 0);
+  w.put<std::uint8_t>(a.resumed ? 1 : 0);
   return w.take();
 }
 
 open_ack read_open_ack(dist::archive_reader& r) {
   open_ack a;
   a.session_id = r.get<std::uint64_t>();
+  a.session_token = r.get<std::uint64_t>();
   a.pool_workers = r.get<std::uint32_t>();
   a.window_credits = r.get<std::uint64_t>();
   a.cache_hit = r.get<std::uint8_t>() != 0;
+  a.resumed = r.get<std::uint8_t>() != 0;
   return a;
 }
 
@@ -96,36 +115,69 @@ dist::byte_buffer encode_open_error(const std::string& reason) {
   return w.take();
 }
 
-dist::byte_buffer encode_error(const std::string& reason) {
+std::string read_reason(dist::archive_reader& r) { return r.get_string(); }
+
+dist::byte_buffer encode_retry_after(const shed_notice& n) {
+  auto w = begin_frame(svc_tag::retry_after);
+  w.put<double>(n.retry_after_s);
+  w.put_string(n.reason);
+  return w.take();
+}
+
+shed_notice read_retry_after(dist::archive_reader& r) {
+  shed_notice n;
+  n.retry_after_s = r.get<double>();
+  n.reason = r.get_string();
+  return n;
+}
+
+dist::byte_buffer encode_error(std::uint64_t seq, const std::string& reason) {
   auto w = begin_frame(svc_tag::error);
+  w.put<std::uint64_t>(seq);
   w.put_string(reason);
   return w.take();
 }
 
-std::string read_reason(dist::archive_reader& r) { return r.get_string(); }
+seq_error read_error(dist::archive_reader& r) {
+  seq_error e;
+  e.seq = r.get<std::uint64_t>();
+  e.reason = r.get_string();
+  return e;
+}
 
-dist::byte_buffer encode_window(const cwcsim::window_summary& s) {
+dist::byte_buffer encode_window(std::uint64_t seq,
+                                const cwcsim::window_summary& s) {
   auto w = begin_frame(svc_tag::window);
+  w.put<std::uint64_t>(seq);
   dist::write_window_summary(w, s);
   return w.take();
 }
 
-cwcsim::window_summary read_window(dist::archive_reader& r) {
-  return dist::read_window_summary(r);
+seq_window read_window(dist::archive_reader& r) {
+  seq_window s;
+  s.seq = r.get<std::uint64_t>();
+  s.window = dist::read_window_summary(r);
+  return s;
 }
 
-dist::byte_buffer encode_trajectory_done(const cwcsim::task_done& d) {
+dist::byte_buffer encode_trajectory_done(std::uint64_t seq,
+                                         const cwcsim::task_done& d) {
   auto w = begin_frame(svc_tag::trajectory_done);
+  w.put<std::uint64_t>(seq);
   dist::write_task_done(w, d);
   return w.take();
 }
 
-cwcsim::task_done read_trajectory_done(dist::archive_reader& r) {
-  return dist::read_task_done(r);
+seq_task_done read_trajectory_done(dist::archive_reader& r) {
+  seq_task_done d;
+  d.seq = r.get<std::uint64_t>();
+  d.done = dist::read_task_done(r);
+  return d;
 }
 
 dist::byte_buffer encode_complete(const run_complete& c) {
   auto w = begin_frame(svc_tag::complete);
+  w.put<std::uint64_t>(c.seq);
   w.put<std::uint8_t>(c.stopped ? 1 : 0);
   w.put<std::uint64_t>(c.trajectories);
   w.put<std::uint64_t>(c.quanta);
@@ -134,6 +186,7 @@ dist::byte_buffer encode_complete(const run_complete& c) {
 
 run_complete read_complete(dist::archive_reader& r) {
   run_complete c;
+  c.seq = r.get<std::uint64_t>();
   c.stopped = r.get<std::uint8_t>() != 0;
   c.trajectories = r.get<std::uint64_t>();
   c.quanta = r.get<std::uint64_t>();
@@ -143,7 +196,8 @@ run_complete read_complete(dist::archive_reader& r) {
 svc_tag read_frame_header(dist::archive_reader& r) {
   const auto tag = r.get<svc_tag>();
   if (static_cast<std::uint8_t>(tag) < 1 ||
-      static_cast<std::uint8_t>(tag) > static_cast<std::uint8_t>(svc_tag::error))
+      static_cast<std::uint8_t>(tag) >
+          static_cast<std::uint8_t>(svc_tag::retry_after))
     throw std::runtime_error("svc frame: unknown tag");
   dist::check_schema_header(r);
   return tag;

@@ -13,34 +13,62 @@
 //   - model cache   — compile once per *model*: open requests carry the
 //     canonical model frame, svc::model_cache keys artifacts by
 //     dist::model_fingerprint, and every tenant running the same model
-//     shares one immutable shared_ptr<const compiled_model>.
-//   - admission     — validate(cfg) server-side plus a max_sessions bound;
-//     rejected opens get a typed open_error frame, the pool never sees
-//     them.
+//     shares one immutable shared_ptr<const compiled_model>. Bounded by
+//     LRU eviction (model_cache_entries); live sessions' models stay
+//     pinned through their shared_ptr refcounts.
+//   - admission     — validate(cfg) server-side plus LOAD-AWARE shedding:
+//     watermarks on live sessions and outstanding pool quanta turn new
+//     opens away with a typed retry_after frame (clients back off and
+//     retry) long before the hard max_sessions bound; admitted sessions
+//     are never starved by arrivals. Malformed requests still get a
+//     final open_error.
 //   - scheduling    — deficit-weighted round robin over sessions: pool
-//     workers pull one trajectory quantum at a time (the PR 6 grant
-//     shape, in-process), each session accumulates `weight` deficit per
-//     scheduler round and pays 1 per quantum, so long-run quanta shares
-//     are proportional to weight and no tenant starves. A trajectory is
-//     leased to at most one worker at a time; its engine state lives on
-//     between quanta (no replay on the happy path).
+//     workers pull one trajectory quantum at a time, each session
+//     accumulates `weight` deficit per scheduler round and pays 1 per
+//     quantum, so long-run quanta shares are proportional to weight and
+//     no tenant starves. A trajectory is leased to at most one worker at
+//     a time; its engine state lives on between quanta.
+//   - recovery      — every trajectory lease doubles as a checkpoint
+//     record: (trajectory_id, completed-quantum high-water mark). Engines
+//     are pure functions of (seed, trajectory_id), so when quantum
+//     execution fails (an engine throw — the in-process stand-in for a
+//     worker crash) the server rebuilds the engine by silently replaying
+//     quanta [0, high-water) and re-executes ONLY the lost quantum, up to
+//     max_quantum_retries times, before declaring the session failed.
+//   - liveness      — every uplink frame refreshes a session's lease; a
+//     reaper retires zombies: a client silent past heartbeat_timeout_s is
+//     presumed dead, and a subscriber that stops acknowledging for
+//     stall_grace_s while its queues are full is presumed wedged. Reaped
+//     sessions park *recoverable* for session_retention_s (checkpoints,
+//     analysis state, and unacknowledged stream frames retained), then
+//     expire, releasing every lease with the ledger still balancing.
+//   - resume        — open_request::resume_token re-attaches a client to
+//     its session (parked or live): the server replays unacknowledged
+//     stream frames from the client's resume_next_seq and carries on.
+//     Completed sessions retain their terminal frame for the retention
+//     window, so a client that lost the last frame can still finish.
 //   - analysis      — the same cwcsim::online_analysis every backend
 //     uses, run per-session as quanta arrive, so windows are bit-exact
 //     with the shared-memory pipeline regardless of pool interleaving.
-//   - backpressure  — credit-based and explicit (svc/proto.hpp): windows
-//     queue server-side when the tenant is out of credits, and a session
-//     whose pending queue reaches its bound stops receiving quanta until
-//     the subscriber drains. Slow tenants throttle only themselves.
-//   - teardown      — cancel (cooperative stop: pending windows flush,
-//     a complete{stopped} frame answers) and close (disconnect: the
+//   - backpressure  — sliding-window flow control (svc/proto.hpp): at
+//     most window_credits stream frames in flight beyond the client's
+//     cumulative ack, and a session whose produced-but-unsent queue
+//     reaches the same bound stops receiving quanta until the subscriber
+//     drains. Slow tenants throttle only themselves.
+//   - teardown      — cancel (cooperative stop: pending frames flush, a
+//     complete{stopped} frame answers) and close (disconnect: the
 //     session vanishes silently). Both release the session's queued
 //     trajectory leases back to the pool immediately; in-flight quanta
 //     finish and are discarded, with quanta_executed ==
 //     quanta_accepted + quanta_discarded always balancing.
+//   - chaos         — svc_config::chaos (svc/chaos.hpp) injects seeded
+//     drop/duplicate/delay on the ingress and every downlink, and a
+//     one-shot engine throw at a chosen quantum index, so the whole
+//     resilience surface is testable deterministically.
 //
-// Tenant isolation: a model whose engine throws mid-quantum fails only
-// its own session (an error frame, then teardown); the server and every
-// co-tenant keep running.
+// Tenant isolation: a model whose engine throws mid-quantum beyond its
+// retry budget fails only its own session (an error frame, then
+// teardown); the server and every co-tenant keep running.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +77,7 @@
 
 #include "core/backend.hpp"
 #include "dist/net_channel.hpp"
+#include "svc/chaos.hpp"
 #include "svc/model_cache.hpp"
 #include "svc/proto.hpp"
 
@@ -56,22 +85,58 @@ namespace svc {
 
 struct svc_config {
   unsigned pool_workers = 4;   ///< shared quantum-execution threads
-  std::size_t max_sessions = 64;  ///< admission bound on live sessions
-  /// Per-session pending-window bound / initial credit grant, when the
-  /// open request does not name one.
+  std::size_t max_sessions = 64;  ///< hard admission bound on live sessions
+  /// Per-session stream-frame window bound (pending queue and in-flight
+  /// replay buffer), when the open request does not name one.
   std::uint64_t default_window_credits = 8;
   dist::net_params network{};  ///< link model for ingress + downlinks
   double server_tick_s = 0.005;  ///< dispatcher recv_for slice
+
+  // ---- resilience knobs ----
+  /// A live session whose client sent NO uplink frame for this long is
+  /// presumed dead and reaped. 0 disables liveness reaping.
+  double heartbeat_timeout_s = 10.0;
+  /// A session whose stream queues are full and whose cumulative ack has
+  /// not advanced for this long is a wedged subscriber: reaped. 0
+  /// disables stall reaping.
+  double stall_grace_s = 30.0;
+  /// How long a reaped/disconnected session stays parked recoverable
+  /// (and a finished one keeps its terminal record) for resume(). 0
+  /// disables recovery: reaped sessions tear down immediately.
+  double session_retention_s = 30.0;
+  /// Failed quantum executions re-tried (with deterministic checkpoint
+  /// replay) before the session is declared failed.
+  std::uint32_t max_quantum_retries = 2;
+  /// Load-aware shedding: new opens are turned away with retry_after once
+  /// live sessions reach this watermark (0 = use max_sessions)...
+  std::size_t shed_session_watermark = 0;
+  /// ...or once the pool's outstanding quanta (queued + in flight across
+  /// all sessions) reach this watermark (0 = no queue-depth shedding).
+  std::uint64_t shed_queue_watermark = 0;
+  /// The retry hint a shed open carries back to the client.
+  double retry_after_hint_s = 0.05;
+  /// Bound on the compiled-model cache (LRU; live models stay pinned).
+  std::size_t model_cache_entries = 64;
+  /// Seeded fault injection (off by default; see svc/chaos.hpp).
+  chaos_params chaos{};
 };
 
 struct server_stats {
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_completed = 0;
   std::uint64_t sessions_cancelled = 0;  ///< cancel, close, or error
-  std::uint64_t sessions_rejected = 0;   ///< admission control
+  std::uint64_t sessions_rejected = 0;   ///< validation/protocol rejection
+  std::uint64_t sessions_shed = 0;     ///< opens turned away with retry_after
+  std::uint64_t sessions_reaped = 0;   ///< zombies retired by the reaper
+  std::uint64_t sessions_resumed = 0;  ///< successful resume re-attaches
+  std::uint64_t sessions_expired = 0;  ///< parked sessions past retention
   std::uint64_t quanta_executed = 0;   ///< quanta the pool ran
   std::uint64_t quanta_accepted = 0;   ///< ingested into a live session
-  std::uint64_t quanta_discarded = 0;  ///< ran for a torn-down session
+  std::uint64_t quanta_discarded = 0;  ///< ran for a torn-down session/failed
+  std::uint64_t quanta_retried = 0;    ///< failed executions re-queued
+  /// Quanta silently re-run to rebuild an engine from its checkpoint
+  /// (recovery replay; not counted in quanta_executed).
+  std::uint64_t quanta_replayed = 0;
   cache_stats cache;
 };
 
@@ -106,6 +171,12 @@ class client_conn {
 
   /// Signal disconnect now (idempotent; the destructor calls it).
   void close();
+
+  /// Vanish WITHOUT telling the server (no close frame): the transport
+  /// slot is released but the session lives on until the heartbeat
+  /// reaper notices. This is the crashed-client simulation; a resumable
+  /// client abandons its old connection before re-attaching.
+  void abandon();
 
   explicit operator bool() const noexcept { return up_ != nullptr; }
 

@@ -4,6 +4,7 @@
 // (core/backend.hpp) — run_builder().backend(cwcsim::service{&server}).
 #pragma once
 
+#include "svc/chaos.hpp"        // IWYU pragma: export
 #include "svc/model_cache.hpp"  // IWYU pragma: export
 #include "svc/proto.hpp"        // IWYU pragma: export
 #include "svc/run_server.hpp"   // IWYU pragma: export

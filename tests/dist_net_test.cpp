@@ -9,8 +9,12 @@
 #include <utility>
 #include <vector>
 
+#include <cmath>
+#include <limits>
+
 #include "dist/dist.hpp"
 #include "models/models.hpp"
+#include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -490,6 +494,81 @@ TEST(DistributedTrace, CapturesPerQuantumRecords) {
   for (const auto& rec : dr.result.trace) {
     EXPECT_LT(rec.trajectory_id, cfg.num_trajectories);
   }
+}
+
+// --------------------- timeout guards (regression) ------------------------
+
+TEST(NetChannelGuards, RecvForRejectsNaNTimeout) {
+  dist::net_channel ch;
+  ch.add_writer();
+  EXPECT_THROW(ch.recv_for(std::numeric_limits<double>::quiet_NaN()),
+               util::precondition_error);
+  ch.close_writer();
+}
+
+TEST(NetChannelGuards, RecvForClampsNonPositiveTimeoutToImmediatePoll) {
+  dist::net_channel ch;
+  ch.add_writer();
+  ch.send({std::byte{7}});
+  // A zero-latency pending message is deliverable right now: a negative
+  // or zero timeout degrades to an immediate poll, not an error and not
+  // an infinite wait.
+  util::stopwatch sw;
+  EXPECT_TRUE(ch.recv_for(-3.5).has_value());
+  EXPECT_FALSE(ch.recv_for(0.0).has_value());
+  EXPECT_LT(sw.elapsed_s(), 0.5);
+  ch.close_writer();
+}
+
+// ------------------- seeded duplication and delay-jitter ------------------
+
+TEST(NetChannelFaults, SeededDuplicationDeliversAndCountsCopies) {
+  dist::net_params p;
+  p.dup_prob = 1.0 - 1e-12;  // every send retransmits (prob must be < 1)
+  dist::net_channel ch(p);
+  ch.add_writer();
+  for (int i = 0; i < 5; ++i) ch.send({std::byte{static_cast<unsigned char>(i)}});
+  ch.close_writer();
+
+  std::size_t delivered = 0;
+  while (ch.recv().has_value()) ++delivered;
+  EXPECT_EQ(delivered, 10u);  // each message + its duplicate
+  EXPECT_EQ(ch.messages_duplicated(), 5u);
+  EXPECT_EQ(ch.messages_sent(), 10u);  // copies are delivered traffic
+}
+
+TEST(NetChannelFaults, DuplicationIsSeedDeterministic) {
+  const auto count_dups = [](std::uint64_t seed) {
+    dist::net_params p;
+    p.dup_prob = 0.5;
+    p.drop_seed = seed;
+    dist::net_channel ch(p);
+    ch.add_writer();
+    for (int i = 0; i < 64; ++i) ch.send({std::byte{1}});
+    ch.close_writer();
+    return ch.messages_duplicated();
+  };
+  EXPECT_EQ(count_dups(42), count_dups(42));
+  EXPECT_NE(count_dups(42), count_dups(43));  // independent streams
+}
+
+TEST(NetChannelFaults, DelayJitterPreservesFifoOrder) {
+  dist::net_params p;
+  p.jitter_s = 0.005;
+  dist::net_channel ch(p);
+  ch.add_writer();
+  for (int i = 0; i < 50; ++i)
+    ch.send({std::byte{static_cast<unsigned char>(i)}});
+  ch.close_writer();
+  // Jitter delays delivery but must never reorder: delivery times are
+  // clamped monotone in send order (a congested link, not a reordering
+  // one), so the svc stream protocol can rely on FIFO transport.
+  for (int i = 0; i < 50; ++i) {
+    const auto m = ch.recv();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ((*m)[0], std::byte{static_cast<unsigned char>(i)}) << i;
+  }
+  EXPECT_FALSE(ch.recv().has_value());
 }
 
 }  // namespace

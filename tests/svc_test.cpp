@@ -103,7 +103,17 @@ TEST(SvcProto, ControlAndTerminalFramesRoundTrip) {
     ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::credit);
     const auto g = svc::read_credit(r);
     EXPECT_EQ(g.conn_id, 7u);
-    EXPECT_EQ(g.n, 3u);
+    EXPECT_EQ(g.consumed_total, 3u);
+  }
+  {
+    // Heartbeat carries the same cumulative ack and decodes with the same
+    // reader (a lost credit frame is healed by the next heartbeat).
+    const auto f = svc::encode_heartbeat(11, 42);
+    dist::archive_reader r(f);
+    ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::heartbeat);
+    const auto g = svc::read_credit(r);
+    EXPECT_EQ(g.conn_id, 11u);
+    EXPECT_EQ(g.consumed_total, 42u);
   }
   {
     const auto f = svc::encode_cancel(9);
@@ -114,20 +124,36 @@ TEST(SvcProto, ControlAndTerminalFramesRoundTrip) {
   {
     svc::open_ack a;
     a.session_id = 3;
+    a.session_token = 0xDEADBEEFULL;
     a.pool_workers = 8;
     a.window_credits = 4;
     a.cache_hit = true;
+    a.resumed = true;
     const auto f = svc::encode_open_ack(a);
     dist::archive_reader r(f);
     ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::open_ok);
     const auto b = svc::read_open_ack(r);
     EXPECT_EQ(b.session_id, 3u);
+    EXPECT_EQ(b.session_token, 0xDEADBEEFULL);
     EXPECT_EQ(b.pool_workers, 8u);
     EXPECT_EQ(b.window_credits, 4u);
     EXPECT_TRUE(b.cache_hit);
+    EXPECT_TRUE(b.resumed);
+  }
+  {
+    svc::shed_notice n;
+    n.retry_after_s = 0.125;
+    n.reason = "session watermark reached";
+    const auto f = svc::encode_retry_after(n);
+    dist::archive_reader r(f);
+    ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::retry_after);
+    const auto b = svc::read_retry_after(r);
+    EXPECT_DOUBLE_EQ(b.retry_after_s, 0.125);
+    EXPECT_EQ(b.reason, "session watermark reached");
   }
   {
     svc::run_complete c;
+    c.seq = 77;
     c.stopped = true;
     c.trajectories = 5;
     c.quanta = 99;
@@ -135,16 +161,36 @@ TEST(SvcProto, ControlAndTerminalFramesRoundTrip) {
     dist::archive_reader r(f);
     ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::complete);
     const auto b = svc::read_complete(r);
+    EXPECT_EQ(b.seq, 77u);
     EXPECT_TRUE(b.stopped);
     EXPECT_EQ(b.trajectories, 5u);
     EXPECT_EQ(b.quanta, 99u);
   }
   {
-    const auto f = svc::encode_error("engine exploded");
+    const auto f = svc::encode_error(13, "engine exploded");
     dist::archive_reader r(f);
     ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::error);
-    EXPECT_EQ(svc::read_reason(r), "engine exploded");
+    const auto e = svc::read_error(r);
+    EXPECT_EQ(e.seq, 13u);
+    EXPECT_EQ(e.reason, "engine exploded");
   }
+}
+
+TEST(SvcProto, OpenResumeFieldsRoundTrip) {
+  svc::open_request rq;
+  rq.conn_id = 6;
+  rq.resume_token = 0xFEEDFACEULL;
+  rq.resume_next_seq = 321;
+  rq.cfg = small_config();
+  rq.local_model = 2;
+  const auto f = svc::encode_open(rq);
+  dist::archive_reader r(f);
+  ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::open);
+  const auto back = svc::read_open(r);
+  EXPECT_EQ(back.resume_token, 0xFEEDFACEULL);
+  EXPECT_EQ(back.resume_next_seq, 321u);
+  EXPECT_EQ(back.local_model, 2u);
+  EXPECT_TRUE(back.model_frame.empty());
 }
 
 TEST(SvcProto, WindowFrameRoundTripsBitExact) {
@@ -167,12 +213,13 @@ TEST(SvcProto, WindowFrameRoundTripsBitExact) {
   cut.clusters.iterations = 3;
   s.cuts.push_back(cut);
 
-  const auto f = svc::encode_window(s);
+  const auto f = svc::encode_window(29, s);
   dist::archive_reader r(f);
   ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::window);
   const auto back = svc::read_window(r);
-  expect_windows_bitexact({back}, {s});
-  EXPECT_EQ(back.cuts[0].clusters.iterations, 3u);
+  EXPECT_EQ(back.seq, 29u);
+  expect_windows_bitexact({back.window}, {s});
+  EXPECT_EQ(back.window.cuts[0].clusters.iterations, 3u);
 }
 
 TEST(SvcProto, ForeignSchemaVersionRejected) {
@@ -218,6 +265,69 @@ TEST(ModelCache, SharesOneCompilePerDistinctModel) {
   const auto st = cache.stats();
   EXPECT_EQ(st.compiles, 2u);
   EXPECT_EQ(st.hits, 1u);
+}
+
+TEST(ModelCache, LruBoundEvictsColdUnpinnedEntriesOnly) {
+  // Three distinct models (distinct birth-death rates encode distinctly).
+  const auto net_a = models::make_birth_death({});
+  const auto net_b = models::make_birth_death({60.0, 1.0, 0});
+  const auto net_c = models::make_birth_death({70.0, 1.0, 0});
+  const auto fa = dist::encode_model(cwcsim::model_ref{nullptr, &net_a, nullptr});
+  const auto fb = dist::encode_model(cwcsim::model_ref{nullptr, &net_b, nullptr});
+  const auto fc = dist::encode_model(cwcsim::model_ref{nullptr, &net_c, nullptr});
+
+  svc::model_cache cache(2);
+  cache.get_or_compile(fa);  // artifact dropped: unpinned in the cache
+  {
+    // Touch A so B is the LRU entry when C arrives.
+    bool hit = false;
+    cache.get_or_compile(fb);
+    cache.get_or_compile(fa, &hit);
+    EXPECT_TRUE(hit);
+  }
+  cache.get_or_compile(fc);  // over the bound: evicts cold, unpinned B
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  {
+    bool hit = true;
+    cache.get_or_compile(fa, &hit);
+    EXPECT_TRUE(hit) << "the recently-used entry must have survived";
+    cache.get_or_compile(fb, &hit);
+    EXPECT_FALSE(hit) << "the evicted entry recompiles";
+  }
+  EXPECT_EQ(cache.stats().compiles, 4u);
+
+  // Pinning: a live session's shared_ptr protects its model. With every
+  // entry pinned the cache exceeds its bound rather than evict.
+  svc::model_cache small(1);
+  const auto pinned_a = small.get_or_compile(fa);
+  const auto pinned_b = small.get_or_compile(fb);
+  EXPECT_EQ(small.size(), 2u);  // nothing evictable: over bound by design
+  EXPECT_EQ(small.stats().evictions, 0u);
+  // Releasing the pins makes both evictable; the next insert trims the
+  // cache back under its bound.
+  // (Copies die here; the cache's shared_ptr is the only reference left.)
+  const auto use_a = pinned_a.get();
+  EXPECT_NE(use_a, nullptr);
+}
+
+TEST(ModelCache, ReleasedPinsAreTrimmedByNextInsert) {
+  const auto net_a = models::make_birth_death({});
+  const auto net_b = models::make_birth_death({60.0, 1.0, 0});
+  const auto net_c = models::make_birth_death({70.0, 1.0, 0});
+  const auto fa = dist::encode_model(cwcsim::model_ref{nullptr, &net_a, nullptr});
+  const auto fb = dist::encode_model(cwcsim::model_ref{nullptr, &net_b, nullptr});
+  const auto fc = dist::encode_model(cwcsim::model_ref{nullptr, &net_c, nullptr});
+
+  svc::model_cache cache(1);
+  {
+    const auto pin_a = cache.get_or_compile(fa);
+    const auto pin_b = cache.get_or_compile(fb);
+    EXPECT_EQ(cache.size(), 2u);  // both pinned, bound exceeded
+  }
+  cache.get_or_compile(fc);  // pins released: trim back to the bound
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
 }
 
 // ------------------------------- run server -------------------------------
@@ -468,8 +578,12 @@ TEST(Service, AdmissionControlRejectsOverCapacityAndBadConfig) {
     ASSERT_EQ(svc::read_frame_header(r), svc::svc_tag::open_ok);
   }
 
-  // Second tenant: server at capacity -> typed failure on the client.
-  EXPECT_THROW(cwcsim::run(m, small_config(), cwcsim::service{&server}),
+  // Second tenant: server at capacity -> typed retry_after frames; the
+  // driver backs off, retries open_retries times, then gives up with a
+  // typed failure on the client.
+  cwcsim::service impatient{&server};
+  impatient.open_retries = 2;  // keep the backoff short for the test
+  EXPECT_THROW(cwcsim::run(m, small_config(), impatient),
                std::runtime_error);
 
   // Server-side validation: a degenerate config is rejected per-tenant
@@ -511,7 +625,8 @@ TEST(Service, AdmissionControlRejectsOverCapacityAndBadConfig) {
                cwcsim::config_error);
 
   const auto st = server.stats();
-  EXPECT_GE(st.sessions_rejected, 2u);  // capacity + bad config
+  EXPECT_GE(st.sessions_rejected, 1u);  // bad config (final, not retryable)
+  EXPECT_GE(st.sessions_shed, 3u);      // capacity: initial open + 2 retries
 }
 
 TEST(Service, CustomRateLawFallsBackToLocalModelSharing) {
