@@ -101,26 +101,25 @@ constexpr std::size_t kBatchLanes = 32;
 constexpr double kBatchQuantum = 2.0;
 constexpr double kBatchPeriod = 0.5;
 
-void bm_batch_step(benchmark::State& state, const cwc::model& m) {
+void bm_batch_step(benchmark::State& state, const cwc::model& m,
+                   std::size_t lanes) {
   const auto cm = cwc::compiled_model::compile(m);
   std::uint64_t seed = 1;
-  auto eng = std::make_unique<cwc::batch::batch_engine>(cm, seed, 0,
-                                                        kBatchLanes);
+  auto eng = std::make_unique<cwc::batch::batch_engine>(cm, seed, 0, lanes);
   std::vector<std::vector<cwc::trajectory_sample>> out;
   std::uint64_t items = 0;
   double t_end = 0.0;
   for (auto _ : state) {
     t_end += kBatchQuantum;
     std::uint64_t before = 0, after = 0;
-    for (std::size_t i = 0; i < kBatchLanes; ++i) before += eng->steps(i);
+    for (std::size_t i = 0; i < lanes; ++i) before += eng->steps(i);
     eng->step_quantum(kBatchQuantum, t_end, kBatchPeriod, out);
     for (auto& v : out) v.clear();
-    for (std::size_t i = 0; i < kBatchLanes; ++i) after += eng->steps(i);
+    for (std::size_t i = 0; i < lanes; ++i) after += eng->steps(i);
     items += after - before;
     if (after == before) {  // whole ensemble stalled: re-seed off the clock
       state.PauseTiming();
-      eng = std::make_unique<cwc::batch::batch_engine>(cm, ++seed, 0,
-                                                       kBatchLanes);
+      eng = std::make_unique<cwc::batch::batch_engine>(cm, ++seed, 0, lanes);
       t_end = 0.0;
       state.ResumeTiming();
     }
@@ -128,14 +127,15 @@ void bm_batch_step(benchmark::State& state, const cwc::model& m) {
   state.SetItemsProcessed(static_cast<std::int64_t>(items));
 }
 
-void bm_batch_step_scalar(benchmark::State& state, const cwc::model& m) {
+void bm_batch_step_scalar(benchmark::State& state, const cwc::model& m,
+                          std::size_t lanes) {
   const auto cm = cwc::compiled_model::compile(m);
   std::uint64_t seed = 1;
   std::vector<cwc::engine> engines;
   const auto reseed = [&](std::uint64_t s) {
     engines.clear();
-    engines.reserve(kBatchLanes);
-    for (std::size_t i = 0; i < kBatchLanes; ++i) engines.emplace_back(cm, s, i);
+    engines.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) engines.emplace_back(cm, s, i);
   };
   reseed(seed);
   std::vector<cwc::trajectory_sample> out;
@@ -163,24 +163,42 @@ void bm_batch_step_scalar(benchmark::State& state, const cwc::model& m) {
 }
 
 void bm_batch_step_neurospora(benchmark::State& state) {
-  bm_batch_step(state, models::make_neurospora_cwc({}));
+  bm_batch_step(state, models::make_neurospora_cwc({}), kBatchLanes);
 }
 BENCHMARK(bm_batch_step_neurospora);
 
 void bm_batch_step_neurospora_scalar(benchmark::State& state) {
-  bm_batch_step_scalar(state, models::make_neurospora_cwc({}));
+  bm_batch_step_scalar(state, models::make_neurospora_cwc({}), kBatchLanes);
 }
 BENCHMARK(bm_batch_step_neurospora_scalar);
 
 void bm_batch_step_compartment_demo(benchmark::State& state) {
-  bm_batch_step(state, models::make_compartment_demo({}));
+  bm_batch_step(state, models::make_compartment_demo({}), kBatchLanes);
 }
 BENCHMARK(bm_batch_step_compartment_demo);
 
 void bm_batch_step_compartment_demo_scalar(benchmark::State& state) {
-  bm_batch_step_scalar(state, models::make_compartment_demo({}));
+  bm_batch_step_scalar(state, models::make_compartment_demo({}), kBatchLanes);
 }
 BENCHMARK(bm_batch_step_compartment_demo_scalar);
+
+// Width sweep for the vectorized kernels: lane-major strips amortize per-row
+// fixed cost across columns, so aggregate lane-steps/s should grow (or at
+// least hold) as the batch widens. The historical width-32 names above stay
+// as the tracked baseline series; the _w sweep brackets them from both
+// sides (narrow batches stress the scalar-threshold path, wide ones the
+// row-sweep payoff).
+void bm_batch_step_neurospora_w(benchmark::State& state) {
+  bm_batch_step(state, models::make_neurospora_cwc({}),
+                static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(bm_batch_step_neurospora_w)->Arg(8)->Arg(64)->Arg(128);
+
+void bm_batch_step_compartment_demo_w(benchmark::State& state) {
+  bm_batch_step(state, models::make_compartment_demo({}),
+                static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(bm_batch_step_compartment_demo_w)->Arg(8)->Arg(64)->Arg(128);
 
 // Per-trajectory engine setup cost, the knob the compile-once layer turns:
 // a farm of 10⁴–10⁵ trajectories constructs that many engines. The legacy

@@ -14,9 +14,15 @@
 #   {
 #     "generated_by": "bench/run_benches.sh",
 #     "min_time": "<min-time>",
+#     "toolchain": {"compiler": str, "build_type": str, "cxx_flags": str,
+#                   "march": str, "native_option": str},
 #     "results": [ {"bench": str, "items_per_sec": num|null,
 #                   "real_time_ns": num}, ... ]
 #   }
+# The toolchain block is the build dir's build_info.json (written at CMake
+# configure time): numbers only mean something relative to the compiler,
+# flags, and ISA that produced them, and bench/trend.py refuses to diff
+# across different ISAs.
 # Comparing runs: check out the baseline commit, run this script, stash the
 # JSON, check out the candidate, run again, and diff the two files (or eyeball
 # items_per_sec per bench name — higher is better; real_time_ns lower is
@@ -65,12 +71,13 @@ if [ -x "$BUILD_DIR/bench/svc_throughput" ]; then
     --t-end "${SVC_T_END:-20}" > "$TMP/svc_throughput.json" || true
 fi
 
-python3 - "$TMP" "$MIN_TIME" "$OUT" <<'PY'
+python3 - "$TMP" "$MIN_TIME" "$OUT" "$BUILD_DIR" <<'PY'
 import json
 import pathlib
 import sys
 
 tmp, min_time, out = pathlib.Path(sys.argv[1]), sys.argv[2], sys.argv[3]
+build_dir = pathlib.Path(sys.argv[4])
 results = []
 
 for name in ("micro_engine.json", "micro_ff.json", "svc_throughput.json"):
@@ -89,9 +96,20 @@ for name in ("micro_engine.json", "micro_ff.json", "svc_throughput.json"):
             "real_time_ns": b["real_time"] * scale,
         })
 
+# Toolchain record from the CMake configure (compiler, flags, -march): the
+# provenance trend.py keys ISA comparability off. An old build tree without
+# build_info.json degrades to an "unknown" record, never an error.
+info = build_dir / "build_info.json"
+try:
+    toolchain = json.loads(info.read_text())
+except (OSError, ValueError):
+    toolchain = {"compiler": "unknown", "build_type": "unknown",
+                 "cxx_flags": "", "march": "unknown", "native_option": ""}
+
 doc = {
     "generated_by": "bench/run_benches.sh",
     "min_time": min_time,
+    "toolchain": toolchain,
     "results": results,
 }
 latency = tmp / "stream_latency.txt"

@@ -21,6 +21,14 @@ are too noisy to gate on), so the bench-smoke job surfaces the verdict
 in its job summary instead of failing the build — the same philosophy as
 BENCH_engine.json itself. A missing baseline (new clone, shallow
 checkout, renamed file) degrades to a note, never an error.
+
+ISA guard: both JSONs carry a "toolchain" block (see run_benches.sh).
+When the baseline and the current run were built for different ISAs
+(toolchain.march differs — e.g. a -DCWCSIM_NATIVE=ON run against a
+baseline-ISA baseline), the numbers measure different machine code and a
+"regression" would be meaningless, so the diff is refused outright:
+"verdict: SKIPPED (ISA mismatch ...)", exit 0, no per-bench rows. A
+baseline predating the toolchain record compares with a warning.
 """
 
 import argparse
@@ -30,10 +38,10 @@ import subprocess
 import sys
 
 
-def load_results(text):
-    """Map bench name -> {real_time_ns, items_per_sec} from the JSON doc."""
+def load_doc(text):
+    """(toolchain dict | None, bench name -> metrics) from the JSON doc."""
     doc = json.loads(text)
-    return {
+    return doc.get("toolchain"), {
         r["bench"]: {
             "real_time_ns": r.get("real_time_ns"),
             "items_per_sec": r.get("items_per_sec"),
@@ -79,7 +87,7 @@ def main():
     if not current_path.exists():
         print(f"note: {current_path} not found — run bench/run_benches.sh first")
         return 0
-    current = load_results(current_path.read_text())
+    cur_tc, current = load_doc(current_path.read_text())
 
     rel = current_path.relative_to(repo) if current_path.is_relative_to(repo) \
         else pathlib.Path("BENCH_engine.json")
@@ -87,7 +95,25 @@ def main():
     if base_text is None:
         print(f"note: no baseline at {args.base}:{rel} — nothing to diff")
         return 0
-    base = load_results(base_text)
+    base_tc, base = load_doc(base_text)
+
+    # Refuse cross-ISA comparisons: -march changes the machine code under
+    # measurement, so a slowdown/speedup between the two files is not a
+    # regression signal. SKIPPED is a verdict, not an error (exit 0) — the
+    # CI job summary shows it instead of a bogus REGRESSED.
+    if base_tc is not None and cur_tc is not None:
+        b_march = base_tc.get("march", "unknown")
+        c_march = cur_tc.get("march", "unknown")
+        if b_march != c_march:
+            print(f"baseline ISA:  {b_march} ({base_tc.get('compiler', '?')})")
+            print(f"current ISA:   {c_march} ({cur_tc.get('compiler', '?')})")
+            print("verdict: SKIPPED (ISA mismatch — benchmark numbers from "
+                  "different -march targets are not comparable; rerun both "
+                  "sides under the same CWCSIM_NATIVE setting to diff)")
+            return 0
+    elif base_tc is None:
+        print(f"warning: baseline {args.base}:{rel} predates the toolchain "
+              "record — comparing anyway, ISA unknown")
 
     names = sorted(set(base) | set(current))
     width = max((len(n) for n in names), default=5)

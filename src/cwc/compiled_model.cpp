@@ -89,6 +89,7 @@ std::size_t compiled_model::num_observables() const noexcept {
 }
 
 void compiled_model::build_tree_tables() {
+  tape_ = rate_tape::compile(*tree_);
   const auto& rules = tree_->rules();
   const std::size_t num_rules = rules.size();
   const std::size_t num_types = tree_->compartment_types().size();

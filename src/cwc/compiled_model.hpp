@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "cwc/model.hpp"
+#include "cwc/rate_tape.hpp"
 #include "cwc/reaction_network.hpp"
 
 namespace cwc {
@@ -104,6 +105,11 @@ class compiled_model {
     return observables_;
   }
 
+  /// The rate-law bytecode tape of a tree model (one program per rule,
+  /// declaration order) — the batch engine's dispatch-free propensity
+  /// evaluator. Empty for flat artifacts.
+  const rate_tape& tape() const noexcept { return tape_; }
+
   /// Evaluate every observable of a tree model in ONE pre-order walk
   /// (`model::observe_all` walks once per observable). `scratch` is the
   /// caller's reusable integer accumulator — counts are summed exactly in
@@ -142,6 +148,7 @@ class compiled_model {
   std::vector<std::uint8_t> writes_host_;
   std::vector<std::uint8_t> writes_child_;
   std::vector<observable_plan> observables_;
+  rate_tape tape_;
 
   // Flat tables.
   std::vector<std::vector<std::uint32_t>> depends_;

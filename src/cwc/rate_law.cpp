@@ -20,17 +20,19 @@ rate_law rate_law::michaelis_menten(double vmax, double km, species_id driver,
 
 rate_law rate_law::hill_repression(double v, double k, double n, species_id driver,
                                    bool driver_in_child) {
-  util::expects(v >= 0.0 && k > 0.0 && n > 0.0, "Hill parameters out of range");
+  util::expects(v >= 0.0 && k > 0.0 && n >= 0.0, "Hill parameters out of range");
   rate_law law(kind::hill_repression, v, k, n, driver, driver_in_child, nullptr);
   law.kn_ = std::pow(k, n);
+  law.exp_ = detail::hill_int_exp_of(n);
   return law;
 }
 
 rate_law rate_law::hill_activation(double v, double k, double n, species_id driver,
                                    bool driver_in_child) {
-  util::expects(v >= 0.0 && k > 0.0 && n > 0.0, "Hill parameters out of range");
+  util::expects(v >= 0.0 && k > 0.0 && n >= 0.0, "Hill parameters out of range");
   rate_law law(kind::hill_activation, v, k, n, driver, driver_in_child, nullptr);
   law.kn_ = std::pow(k, n);
+  law.exp_ = detail::hill_int_exp_of(n);
   return law;
 }
 
@@ -65,12 +67,14 @@ double rate_law::evaluate_direct(double combinations,
     }
     case kind::hill_repression: {
       const double x = driver_count;
-      return a_ * kn_ / (kn_ + std::pow(x, c_));
+      return a_ * kn_ / (kn_ + detail::hill_pow(x, c_, exp_));
     }
     case kind::hill_activation: {
       const double x = driver_count;
-      if (x == 0.0) return 0.0;
-      const double xn = std::pow(x, c_);
+      // n == 0 degenerates to the constant a/2 even at x == 0 (x^0 == 1);
+      // only n > 0 makes a zero driver count shut the law off.
+      if (x == 0.0 && c_ > 0.0) return 0.0;
+      const double xn = detail::hill_pow(x, c_, exp_);
       return a_ * xn / (kn_ + xn);
     }
     case kind::custom:

@@ -9,6 +9,7 @@
 // `custom` accepts any callable on the match context.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -17,6 +18,37 @@
 #include "cwc/species.hpp"
 
 namespace cwc {
+
+namespace detail {
+
+/// The ONE Hill-exponent power used on every stochastic propensity path
+/// (rate_law::evaluate_direct, the rate-law bytecode tape, and the batch
+/// engine's wide kernels). Small non-negative integer exponents — every
+/// Hill coefficient in the model library — evaluate as a fixed-trip
+/// left-to-right product, which the compiler unrolls/vectorizes and which
+/// is a pure elementary-op sequence, so scalar and lane-vectorized
+/// evaluation produce bit-identical doubles. Non-integer exponents fall
+/// back to std::pow. int_n == 0 yields 1.0 for every x, including x == 0
+/// (matching std::pow(0, 0) == 1). The deterministic ODE path
+/// (evaluate_continuous) intentionally keeps libm pow.
+inline double hill_pow(double x, double n, int int_n) noexcept {
+  if (int_n >= 0) {
+    double r = 1.0;
+    for (int i = 0; i < int_n; ++i) r *= x;
+    return r;
+  }
+  return std::pow(x, n);
+}
+
+/// Integer Hill exponent detection: exact small non-negative integers take
+/// the fixed-trip product path; everything else (including huge or
+/// non-integral n) keeps libm pow.
+inline int hill_int_exp_of(double n) noexcept {
+  if (n >= 0.0 && n <= 32.0 && n == std::floor(n)) return static_cast<int>(n);
+  return -1;
+}
+
+}  // namespace detail
 
 /// What a rate law may inspect when evaluated for one candidate match.
 struct rate_ctx {
@@ -49,11 +81,14 @@ class rate_law {
                                    bool driver_in_child = false);
 
   /// Hill repression propensity v*K^n/(K^n + x^n) with x the driver count —
-  /// the transcription-inhibition law of the Neurospora model.
+  /// the transcription-inhibition law of the Neurospora model. n == 0 is
+  /// permitted and degenerates to the constant v/2 (x^0 == 1 for every x,
+  /// including x == 0, matching std::pow).
   static rate_law hill_repression(double v, double k, double n, species_id driver,
                                   bool driver_in_child = false);
 
-  /// Hill activation propensity v*x^n/(K^n + x^n).
+  /// Hill activation propensity v*x^n/(K^n + x^n). n == 0 degenerates to
+  /// the constant v/2; for n > 0 a zero driver count yields 0.
   static rate_law hill_activation(double v, double k, double n, species_id driver,
                                   bool driver_in_child = false);
 
@@ -83,11 +118,21 @@ class rate_law {
   /// The mass-action constant; only meaningful when is_mass_action().
   double constant() const noexcept { return a_; }
 
-  // ---- introspection (wire codec / diagnostics) ---------------------
+  // ---- introspection (wire codec / tape compiler / diagnostics) -----
+  // Everything the rate-law bytecode tape compiler needs is public here —
+  // including the precomputed K^n and the integer-exponent classification —
+  // so the tape reads the law through accessors rather than friend-poking
+  // its internals (and cannot drift from the constants evaluate_direct
+  // itself uses).
   kind law_kind() const noexcept { return kind_; }
   double param_a() const noexcept { return a_; }  ///< k | Vmax | v
   double param_b() const noexcept { return b_; }  ///< -  | Km   | K
   double param_c() const noexcept { return c_; }  ///< -  | -    | Hill n
+  /// Precomputed K^n of the Hill laws (1.0 when n == 0); 0 otherwise.
+  double param_kn() const noexcept { return kn_; }
+  /// The Hill exponent as a small non-negative integer, or -1 when the
+  /// exponent is non-integral (libm-pow path). See detail::hill_pow.
+  int hill_int_exp() const noexcept { return exp_; }
   species_id driver() const noexcept { return driver_; }
   bool driver_in_child() const noexcept { return driver_in_child_; }
 
@@ -104,6 +149,7 @@ class rate_law {
   double b_ = 0.0;  // -  | Km   | K
   double c_ = 0.0;  // -  | -    | n (Hill exponent)
   double kn_ = 0.0; // K^n, precomputed for the Hill laws (one pow per step saved)
+  int exp_ = -1;    // Hill n as a small non-negative integer, -1 for libm pow
   species_id driver_ = 0;
   bool driver_in_child_ = false;
   custom_fn fn_;

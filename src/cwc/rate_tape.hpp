@@ -1,0 +1,174 @@
+// Rate-law bytecode tape: every rule's propensity closed form, compiled to
+// a flat op sequence evaluated with zero virtual/branchy per-kind dispatch.
+//
+// The batch engine's hot loop evaluates the SAME rule over many lanes whose
+// per-lane counts sit in lane-major strips. A rule's propensity is
+//
+//   comb_host * (comb_wrap * comb_child)   -- the match combinatorics --
+//
+// fed into one of four closed-form heads (mass-action, Michaelis-Menten,
+// Hill repression/activation). The tape flattens the combinatoric part into
+// a run of choose() ops (ascending species inside each segment, segments in
+// host -> wrap -> child order, exactly the order and *grouping*
+// rule::match_propensity uses — FP multiplication is not associative, so
+// the grouping is part of the bit-exactness contract) and the head into a
+// small parameter block. Evaluation is a straight-line walk: no rate_law
+// switch inside the per-lane loop, and the wide kernels
+// (batch/batch_kernels.hpp) hoist each op's k-specialisation outside the
+// lane loop entirely.
+//
+// `custom` laws carry an opaque callable over the full match context; they
+// compile to a head-only program that eval() refuses (batch_engine gates
+// them out via supports(); scalar engines never consult the tape).
+//
+// Exactness: eval() returns bit-for-bit the double rule::match_propensity
+// (equivalently batch_engine's per-match evaluation) computes for the same
+// counts. Infeasible matches (some required count short) return +0.0 — the
+// scalar code early-returns the literal 0.0, the tape computes the full
+// masked expression; both produce +0.0. Feasible matches run the identical
+// left-to-right factor sequence through cwc::choose and the identical head
+// expression tree (detail::hill_pow included).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cwc/multiset.hpp"
+#include "cwc/rate_law.hpp"
+#include "cwc/species.hpp"
+
+namespace cwc {
+
+class model;
+
+/// Closed-form head applied to the match combinatorics.
+enum class tape_head : std::uint8_t {
+  mass_action,       ///< a * comb
+  michaelis_menten,  ///< a * x / (b + x)
+  hill_repression,   ///< a * kn / (kn + x^n)
+  hill_activation,   ///< a * x^n / (kn + x^n)
+  custom,            ///< no closed form; never evaluated through the tape
+};
+
+/// One combinatoric factor: choose(count[sp], k), k > 0 (zero-multiplicity
+/// species are omitted at compile time, mirroring multiset::combinations).
+/// The source array (host content / child wrap / child content) is implied
+/// by which segment of the program the op sits in.
+struct tape_op {
+  species_id sp = 0;
+  std::uint32_t k = 0;
+};
+
+/// One rule's compiled program: an op range split into the three source
+/// segments plus the head parameter block (constants pre-resolved from the
+/// rate_law through its accessors, so the tape cannot drift from what
+/// evaluate_direct itself uses).
+struct tape_program {
+  std::uint32_t first_op = 0;
+  std::uint16_t n_host = 0;   ///< host-content ops
+  std::uint16_t n_wrap = 0;   ///< bound child's membrane ops
+  std::uint16_t n_child = 0;  ///< bound child's content ops
+  tape_head head = tape_head::custom;
+  bool has_child = false;        ///< rule binds a child compartment
+  bool has_driver = false;       ///< head reads a driver copy number
+  bool driver_in_child = false;  ///< driver read from the bound child
+  species_id driver = 0;
+  double a = 0.0;    ///< k | Vmax | v
+  double b = 0.0;    ///< Km (Michaelis-Menten)
+  double n = 0.0;    ///< Hill exponent
+  double kn = 0.0;   ///< precomputed K^n (Hill)
+  int hill_exp = -1; ///< Hill n as small non-negative int, -1 => libm pow
+};
+
+/// The per-model tape: one program per rule, declaration order, over one
+/// shared flat op array. Immutable after compile(); stored in
+/// compiled_model and shared by every engine like the other static tables.
+class rate_tape {
+ public:
+  rate_tape() = default;
+
+  /// Compile every rule of a tree model. Never fails: custom laws become
+  /// head-only `custom` programs the evaluator refuses.
+  static rate_tape compile(const model& m);
+
+  std::size_t num_programs() const noexcept { return progs_.size(); }
+  const tape_program& program(std::size_t rule) const {
+    return progs_[rule];
+  }
+  const tape_op* ops() const noexcept { return ops_.data(); }
+
+  /// Scalar tape walk over strided count arrays: element `sp` of a count
+  /// row lives at base[sp * stride] (stride 1 for dense per-compartment
+  /// rows, stride == lane capacity for the batch engine's lane-major
+  /// strips). `child_w`/`child_c` may be null when the program binds no
+  /// child; a null `child_c` with driver_in_child reads a zero driver
+  /// (the scalar engines' missing-child convention).
+  double eval(const tape_program& pg, const std::uint64_t* host_c,
+              const std::uint64_t* child_w, const std::uint64_t* child_c,
+              std::size_t stride) const noexcept {
+    const tape_op* op = ops_.data() + pg.first_op;
+    // Feasibility mask instead of the scalar code's early returns: the
+    // masked result is +0.0 either way, and the feasible path multiplies
+    // the identical factor sequence.
+    bool ok = true;
+    double comb = 1.0;
+    for (std::uint32_t i = 0; i < pg.n_host; ++i, ++op) {
+      const std::uint64_t have = host_c[op->sp * stride];
+      ok &= have >= op->k;
+      comb *= choose(have, op->k);
+    }
+    if (pg.has_child) {
+      double w = 1.0;
+      for (std::uint32_t i = 0; i < pg.n_wrap; ++i, ++op) {
+        const std::uint64_t have = child_w[op->sp * stride];
+        ok &= have >= op->k;
+        w *= choose(have, op->k);
+      }
+      double cc = 1.0;
+      for (std::uint32_t i = 0; i < pg.n_child; ++i, ++op) {
+        const std::uint64_t have = child_c[op->sp * stride];
+        ok &= have >= op->k;
+        cc *= choose(have, op->k);
+      }
+      comb *= w * cc;  // match_propensity's grouping: comb * (w * cc)
+    }
+    double x = 0.0;
+    if (pg.has_driver) {
+      const std::uint64_t* xr = pg.driver_in_child ? child_c : host_c;
+      x = xr != nullptr ? static_cast<double>(xr[pg.driver * stride]) : 0.0;
+    }
+    double p = 0.0;
+    switch (pg.head) {
+      case tape_head::mass_action:
+        p = pg.a * comb;
+        break;
+      case tape_head::michaelis_menten:
+        // Branchless form of `x == 0 ? 0 : a*x/(b+x)`: at x == 0 the
+        // expression is +0/b == +0.0 (b = Km > 0), the same bits.
+        p = pg.a * x / (pg.b + x);
+        break;
+      case tape_head::hill_repression:
+        p = pg.a * pg.kn / (pg.kn + detail::hill_pow(x, pg.n, pg.hill_exp));
+        break;
+      case tape_head::hill_activation: {
+        // Branchless form of evaluate_direct's x==0 early return: for
+        // n > 0, x^n is +0 and a*0/(kn+0) == +0/kn == +0.0 (kn = K^n > 0);
+        // for n == 0, x^n == 1 and the constant a/2 survives, as it should.
+        const double xn = detail::hill_pow(x, pg.n, pg.hill_exp);
+        p = pg.a * xn / (pg.kn + xn);
+        break;
+      }
+      case tape_head::custom:
+        return 0.0;  // gated out by batch_engine::supports()
+    }
+    // Feasibility mask + the scalar engines' non-negativity clamp (which
+    // also absorbs NaN from masked-out garbage intermediates).
+    return (ok && p > 0.0) ? p : 0.0;
+  }
+
+ private:
+  std::vector<tape_program> progs_;
+  std::vector<tape_op> ops_;
+};
+
+}  // namespace cwc

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -215,6 +216,110 @@ class rng_stream {
   xoshiro256ss rng_;
   double spare_ = 0.0;
   bool have_spare_ = false;
+};
+
+/// A bank of N independent streams in structure-of-arrays layout — the
+/// batch engine's lane RNGs. Lane i of rng_lane_bank(seed, first_id, n) is
+/// the EXACT stream rng_stream(seed, first_id + i): same SplitMix key
+/// derivation, same xoshiro256** seeding and update, so every lane draw is
+/// bit-identical to the scalar stream a standalone engine for that
+/// trajectory would own, regardless of whether it is drawn through the
+/// per-lane scalar entry points or the lane-strided batch fill.
+///
+/// The SoA state (four u64 strips indexed by lane) is what makes the batch
+/// fill auto-vectorizable: when every lane draws (the common lockstep
+/// round), the update runs lane-innermost over contiguous arrays. A sparse
+/// subset of lanes falls back to a per-listed-lane scalar loop over the
+/// same state words — the per-lane value sequence is identical either way,
+/// only instruction scheduling differs.
+class rng_lane_bank {
+ public:
+  rng_lane_bank() = default;
+
+  rng_lane_bank(std::uint64_t seed, std::uint64_t first_id, std::size_t n)
+      : s0_(n), s1_(n), s2_(n), s3_(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // rng_stream's seeding chain, verbatim: key = mix(seed, id), then
+      // xoshiro256ss seeded through SplitMix64(key).
+      splitmix64 keyer(seed ^ (0x9e3779b97f4a7c15ULL *
+                               (first_id + static_cast<std::uint64_t>(i) + 1)));
+      (void)keyer();
+      splitmix64 sm(keyer());
+      s0_[i] = sm();
+      s1_[i] = sm();
+      s2_[i] = sm();
+      s3_[i] = sm();
+    }
+  }
+
+  std::size_t size() const noexcept { return s0_.size(); }
+
+  /// Uniform in [0, 2^64) from lane `i`'s stream.
+  std::uint64_t next_u64(std::size_t i) noexcept { return advance(i); }
+
+  /// Uniform double in (0, 1] from lane `i`'s stream (rng_stream's
+  /// next_uniform_pos: 53 bits, support shifted off zero for log()).
+  double next_uniform_pos(std::size_t i) noexcept {
+    return to_uniform_pos(advance(i));
+  }
+
+  /// Dense batch draw: out[i] = next_uniform_pos(i) for EVERY lane — the
+  /// lane-innermost loop over the contiguous state strips that the
+  /// compiler auto-vectorizes. Use when a lockstep round draws on all
+  /// lanes (the common case); per-lane values are bit-identical to the
+  /// scalar entry points.
+  void fill_uniform_pos_all(double* out) noexcept {
+    const std::size_t n = size();
+    std::uint64_t* __restrict__ s0 = s0_.data();
+    std::uint64_t* __restrict__ s1 = s1_.data();
+    std::uint64_t* __restrict__ s2 = s2_.data();
+    std::uint64_t* __restrict__ s3 = s3_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t r = rotl(s1[i] * 5, 7) * 9;
+      const std::uint64_t t = s1[i] << 17;
+      s2[i] ^= s0[i];
+      s3[i] ^= s1[i];
+      s1[i] ^= s2[i];
+      s0[i] ^= s3[i];
+      s2[i] ^= t;
+      s3[i] = rotl(s3[i], 45);
+      out[i] = to_uniform_pos(r);
+    }
+  }
+
+  /// Subset batch draw: out[j] = next_uniform_pos(lanes[j]) for j in
+  /// [0, m). Lanes not listed do not advance; listed lanes must be
+  /// distinct (each stream advances exactly once). Scalar loop — sparse
+  /// lane subsets gather across the strips, which does not vectorize
+  /// profitably; the value sequence per lane is identical either way.
+  void fill_uniform_pos(const std::uint32_t* lanes, std::size_t m,
+                        double* out) noexcept {
+    for (std::size_t j = 0; j < m; ++j) out[j] = next_uniform_pos(lanes[j]);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double to_uniform_pos(std::uint64_t r) noexcept {
+    return static_cast<double>((r >> 11) + 1) * 0x1.0p-53;
+  }
+
+  /// xoshiro256** update on lane `i`'s state words (the scalar generator's
+  /// operator(), over strided storage).
+  std::uint64_t advance(std::size_t i) noexcept {
+    const std::uint64_t result = rotl(s1_[i] * 5, 7) * 9;
+    const std::uint64_t t = s1_[i] << 17;
+    s2_[i] ^= s0_[i];
+    s3_[i] ^= s1_[i];
+    s1_[i] ^= s2_[i];
+    s0_[i] ^= s3_[i];
+    s2_[i] ^= t;
+    s3_[i] = rotl(s3_[i], 45);
+    return result;
+  }
+
+  std::vector<std::uint64_t> s0_, s1_, s2_, s3_;
 };
 
 }  // namespace util

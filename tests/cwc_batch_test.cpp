@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "core/cwcsim.hpp"
 #include "cwc/cwc.hpp"
@@ -135,12 +136,19 @@ void expect_same_samples(const std::vector<cwc::trajectory_sample>& got,
 
 /// Drive a batch of `width` lanes and `width` scalar engines through the
 /// same quantum schedule and require bit-identical behaviour lane by lane.
+/// The kernel mode is forced so the suite pins BOTH the wide kernels and
+/// the scalar fallback against the scalar engine (automatic = whatever the
+/// environment resolves).
 void lockstep_batch(const cwc::model& m, std::uint64_t seed,
                     std::uint64_t first_id, std::size_t width, double quantum,
-                    double t_end, double sample_period) {
+                    double t_end, double sample_period,
+                    cwc::batch::kernel_mode mode =
+                        cwc::batch::kernel_mode::automatic) {
   const auto cm = cwc::compiled_model::compile(m);
   ASSERT_TRUE(cwc::batch::batch_engine::supports(*cm));
-  cwc::batch::batch_engine be(cm, seed, first_id, width);
+  cwc::batch::batch_engine be(cm, seed, first_id, width, mode);
+  if (mode != cwc::batch::kernel_mode::automatic)
+    ASSERT_EQ(be.active_kernel(), mode);
 
   std::vector<cwc::engine> scalars;
   scalars.reserve(width);
@@ -175,24 +183,54 @@ void lockstep_batch(const cwc::model& m, std::uint64_t seed,
   }
 }
 
-TEST(BatchEngine, LockstepNeurosporaAcrossWidths) {
+constexpr cwc::batch::kernel_mode kBothKernels[] = {
+    cwc::batch::kernel_mode::wide, cwc::batch::kernel_mode::scalar};
+constexpr std::size_t kLockstepWidths[] = {1, 4, 32, 64};
+
+TEST(BatchEngine, LockstepNeurosporaAcrossWidthsAndKernels) {
   const auto m = models::make_neurospora_cwc({});
-  for (const std::size_t width : {std::size_t{1}, std::size_t{4},
-                                  std::size_t{32}})
-    lockstep_batch(m, 17, 0, width, 0.7, 12.0, 0.5);
+  for (const auto mode : kBothKernels)
+    for (const std::size_t width : kLockstepWidths)
+      lockstep_batch(m, 17, 0, width, 0.7, 12.0, 0.5, mode);
 }
 
-TEST(BatchEngine, LockstepCompartmentDemoAcrossWidths) {
+TEST(BatchEngine, LockstepCompartmentDemoAcrossWidthsAndKernels) {
   const auto m = models::make_compartment_demo({});
-  for (const std::size_t width : {std::size_t{1}, std::size_t{4},
-                                  std::size_t{32}})
-    lockstep_batch(m, 23, 0, width, 0.7, 12.0, 0.5);
+  for (const auto mode : kBothKernels)
+    for (const std::size_t width : kLockstepWidths)
+      lockstep_batch(m, 23, 0, width, 0.7, 12.0, 0.5, mode);
 }
 
 TEST(BatchEngine, LockstepChurnModelStructuralRewrites) {
   // Creation at two nesting levels, dissolve with grandchild reparenting,
-  // subtree removal, any-context rules — the structural-relayout stress.
-  lockstep_batch(make_churn_model(), 31, 0, 8, 0.5, 6.0, 0.25);
+  // subtree removal, any-context rules — the structural-relayout stress —
+  // under both kernels (structural carries + wide re-sweeps must agree).
+  for (const auto mode : kBothKernels)
+    lockstep_batch(make_churn_model(), 31, 0, 8, 0.5, 6.0, 0.25, mode);
+}
+
+TEST(BatchEngine, KernelModeResolution) {
+  const auto cm =
+      cwc::compiled_model::compile(models::make_neurospora_cwc({}));
+  {
+    cwc::batch::batch_engine be(cm, 1, 0, 4, cwc::batch::kernel_mode::scalar);
+    EXPECT_EQ(be.active_kernel(), cwc::batch::kernel_mode::scalar);
+  }
+  {
+    cwc::batch::batch_engine be(cm, 1, 0, 4, cwc::batch::kernel_mode::wide);
+    EXPECT_EQ(be.active_kernel(), cwc::batch::kernel_mode::wide);
+  }
+  // automatic honours CWCSIM_BATCH_KERNEL, defaulting to wide.
+  ::setenv("CWCSIM_BATCH_KERNEL", "scalar", 1);
+  {
+    cwc::batch::batch_engine be(cm, 1, 0, 4);
+    EXPECT_EQ(be.active_kernel(), cwc::batch::kernel_mode::scalar);
+  }
+  ::unsetenv("CWCSIM_BATCH_KERNEL");
+  {
+    cwc::batch::batch_engine be(cm, 1, 0, 4);
+    EXPECT_EQ(be.active_kernel(), cwc::batch::kernel_mode::wide);
+  }
 }
 
 TEST(BatchEngine, LockstepNonZeroFirstTrajectoryId) {

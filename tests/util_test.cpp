@@ -1,8 +1,12 @@
 // Unit tests for the util substrate: RNG streams, histogram, CLI, tables.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <random>
 #include <set>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -161,6 +165,71 @@ TEST(Rng, PoissonMeanSmallAndLarge) {
     for (int i = 0; i < n; ++i)
       sum += static_cast<double>(r.next_poisson(mean));
     EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngLaneBank, LanesMatchScalarStreamsBitForBit) {
+  // Lane i of the bank is the EXACT stream rng_stream(seed, first_id + i),
+  // through the per-lane scalar entry points, with interleaved draw kinds.
+  constexpr std::size_t n = 9;
+  util::rng_lane_bank bank(42, 1000, n);
+  std::vector<util::rng_stream> ref;
+  ref.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ref.emplace_back(42, 1000 + i);
+  for (int round = 0; round < 200; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(bank.next_u64(i), ref[i].next_u64()) << "lane " << i;
+      ASSERT_EQ(bank.next_uniform_pos(i), ref[i].next_uniform_pos())
+          << "lane " << i;
+    }
+  }
+}
+
+TEST(RngLaneBank, DenseFillMatchesScalarStreams) {
+  constexpr std::size_t n = 16;
+  util::rng_lane_bank bank(7, 0, n);
+  std::vector<util::rng_stream> ref;
+  ref.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ref.emplace_back(7, i);
+  std::vector<double> out(n);
+  for (int round = 0; round < 200; ++round) {
+    bank.fill_uniform_pos_all(out.data());
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(out[i], ref[i].next_uniform_pos())
+          << "lane " << i << " round " << round;
+  }
+}
+
+TEST(RngLaneBank, SubsetFillsConsumeLikeIndependentStreams) {
+  // Shuffled partial subsets round after round (the lockstep engine's
+  // draw/fire lists): each listed lane's draw continues ITS stream exactly;
+  // unlisted lanes stay untouched. Interleave occasional dense fills to
+  // prove the two entry points consume from the same state.
+  constexpr std::size_t n = 12;
+  util::rng_lane_bank bank(11, 5, n);
+  std::vector<util::rng_stream> ref;
+  ref.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ref.emplace_back(11, 5 + i);
+  std::mt19937 pick(99);
+  std::vector<std::uint32_t> lanes;
+  std::vector<double> out;
+  for (int round = 0; round < 300; ++round) {
+    if (round % 7 == 3) {
+      out.resize(n);
+      bank.fill_uniform_pos_all(out.data());
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], ref[i].next_uniform_pos()) << "dense " << round;
+      continue;
+    }
+    lanes.clear();
+    for (std::uint32_t i = 0; i < n; ++i)
+      if (pick() % 3 != 0) lanes.push_back(i);
+    std::shuffle(lanes.begin(), lanes.end(), pick);
+    out.resize(lanes.size());
+    bank.fill_uniform_pos(lanes.data(), lanes.size(), out.data());
+    for (std::size_t j = 0; j < lanes.size(); ++j)
+      ASSERT_EQ(out[j], ref[lanes[j]].next_uniform_pos())
+          << "lane " << lanes[j] << " round " << round;
   }
 }
 
