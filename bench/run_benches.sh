@@ -71,6 +71,15 @@ if [ -x "$BUILD_DIR/bench/svc_throughput" ]; then
     --t-end "${SVC_T_END:-20}" > "$TMP/svc_throughput.json" || true
 fi
 
+# sweep_throughput (M cells x N trajectories campaigns, farm vs batched,
+# overlay-vs-recompile setup cost) emits the same JSON shape.
+if [ -x "$BUILD_DIR/bench/sweep_throughput" ]; then
+  "$BUILD_DIR/bench/sweep_throughput" --json \
+    --cells "${SWEEP_CELLS:-8}" \
+    --trajectories "${SWEEP_TRAJECTORIES:-8}" \
+    --t-end "${SWEEP_T_END:-10}" > "$TMP/sweep_throughput.json" || true
+fi
+
 python3 - "$TMP" "$MIN_TIME" "$OUT" "$BUILD_DIR" <<'PY'
 import json
 import pathlib
@@ -80,7 +89,8 @@ tmp, min_time, out = pathlib.Path(sys.argv[1]), sys.argv[2], sys.argv[3]
 build_dir = pathlib.Path(sys.argv[4])
 results = []
 
-for name in ("micro_engine.json", "micro_ff.json", "svc_throughput.json"):
+for name in ("micro_engine.json", "micro_ff.json", "svc_throughput.json",
+             "sweep_throughput.json"):
     path = tmp / name
     if not path.exists():
         continue

@@ -1,0 +1,174 @@
+// Sweep-campaign throughput: one compiled model x M parameter cells x N
+// trajectories, measured two ways.
+//
+//   1. Campaign rate — cells/s end to end on the scalar farm and on the
+//      batched backend, where lanes of different cells share SoA strips
+//      (the whole point of multi-cell batches: the sweep vectorizes as one
+//      population, not M small ones).
+//   2. Per-cell setup cost — constructing a rate-constant overlay of the
+//      compiled artifact vs fully recompiling the patched model. The
+//      acceptance bar is overlays >= 10x cheaper: that is what makes
+//      fine-grained sweeps (large M, small N) viable.
+//
+//   ./sweep_throughput [--cells 8] [--trajectories 8] [--t-end 10]
+//                      [--workers 4] [--width 32] [--json]
+//
+// --json emits google-benchmark-shaped output so bench/run_benches.sh can
+// merge the numbers into BENCH_engine.json next to the microbenchmarks.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "models/models.hpp"
+#include "sweep/sweep.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+struct measurement {
+  std::size_t cells = 0;
+  std::uint64_t steps = 0;  // total SSA steps (the invariant work measure)
+  double wall_s = 0.0;
+  double cells_per_sec() const { return wall_s > 0 ? cells / wall_s : 0; }
+  double ns_per_cell() const {
+    return cells > 0 ? wall_s * 1e9 / static_cast<double>(cells) : 0;
+  }
+};
+
+measurement run_campaign(const cwc::model& m, const cwcsim::sim_config& cfg,
+                         const cwcsim::sweep::plan& plan, std::size_t width) {
+  util::stopwatch sw;
+  const auto rep = cwcsim::run_sweep(m, cfg, plan, cwcsim::multicore{width});
+  measurement out;
+  out.wall_s = sw.elapsed_s();
+  out.cells = rep.cells.size();
+  for (const auto& c : rep.cells) out.steps += c.steps;
+  return out;
+}
+
+/// A campaign-scale model for the setup-cost comparison: a `k`-rule
+/// mass-action cascade S0 -> S1 -> ... (real sweep targets have dozens of
+/// rules; compile cost grows with the rule-pair dependency index while an
+/// overlay only copies the rule table, so the ratio is understated on toy
+/// 3-rule models).
+cwc::model make_cascade(std::size_t k) {
+  cwc::model m;
+  char name[24];
+  std::vector<cwc::species_id> sp;
+  sp.reserve(k + 1);
+  for (std::size_t i = 0; i <= k; ++i) {
+    std::snprintf(name, sizeof name, "S%zu", i);
+    sp.push_back(m.declare_species(name));
+  }
+  auto root = std::make_unique<cwc::term>(cwc::top_compartment);
+  root->content().add(sp[0], 1000);
+  m.set_initial(std::move(root));
+  for (std::size_t i = 0; i < k; ++i) {
+    std::snprintf(name, sizeof name, "r%zu", i);
+    cwc::rule r(name, cwc::top_compartment, cwc::rate_law::mass_action(1.0));
+    r.consume(sp[i]);
+    r.produce(sp[i + 1]);
+    m.add_rule(std::move(r));
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::cli cli(argc, argv);
+  const auto cells = static_cast<std::size_t>(cli.get_int("cells", 8));
+  const auto width = static_cast<std::size_t>(cli.get_int("width", 32));
+  const bool json = cli.get_bool("json", false);
+
+  cwcsim::sim_config cfg;
+  cfg.num_trajectories =
+      static_cast<std::uint64_t>(cli.get_int("trajectories", 8));
+  cfg.t_end = cli.get_double("t-end", 10.0);
+  cfg.sample_period = 0.5;
+  cfg.quantum = 2.0;
+  cfg.sim_workers = static_cast<unsigned>(cli.get_int("workers", 4));
+  cfg.window_size = 5;
+  cfg.window_slide = 5;
+  cfg.kmeans_k = 0;
+
+  const auto model = models::make_compartment_demo({});
+  const auto plan =
+      cwcsim::sweep::plan().axis_linspace("grow", 0.5, 2.0, cells);
+
+  // ---- campaign throughput, farm vs batched --------------------------------
+  const measurement farm = run_campaign(model, cfg, plan, 0);
+  const measurement batched = run_campaign(model, cfg, plan, width);
+
+  // ---- per-cell setup: overlay vs full recompile ---------------------------
+  // Same patched-constant artifacts either way; only the construction path
+  // differs. Measured on a campaign-scale rule table and repeated enough
+  // times for a stable clock read.
+  const auto rules = static_cast<std::size_t>(cli.get_int("setup-rules", 32));
+  const auto cascade = make_cascade(rules);
+  const auto base = cwc::compiled_model::compile(cascade);
+  const std::vector<cwc::compiled_model::rate_override> patch{{"r0", 2.0}};
+  const int reps = cli.get_int("setup-reps", 50);
+  const auto n_setups = static_cast<double>(cells) * reps;
+
+  // Untimed warmup: the first pass pays allocator/cache warmup that would
+  // otherwise skew the short overlay loop (and flake the gated exit code).
+  (void)cwc::compiled_model::overlay(base, patch);
+  (void)cwc::compiled_model::compile(cascade);
+
+  util::stopwatch sw;
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t i = 0; i < cells; ++i)
+      (void)cwc::compiled_model::overlay(base, patch);
+  }
+  const double overlay_s = sw.elapsed_s();
+
+  sw = util::stopwatch();
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t i = 0; i < cells; ++i)
+      (void)cwc::compiled_model::compile(cascade);
+  }
+  const double recompile_s = sw.elapsed_s();
+  const double setup_ratio = overlay_s > 0 ? recompile_s / overlay_s : 0;
+
+  if (json) {
+    std::printf(
+        "{\n"
+        "  \"benchmarks\": [\n"
+        "    {\"name\": \"sweep_cells_per_sec/backend:farm\", \"run_type\": "
+        "\"iteration\", \"items_per_second\": %.3f, \"real_time\": %.1f, "
+        "\"time_unit\": \"ns\"},\n"
+        "    {\"name\": \"sweep_cells_per_sec/backend:batched/width:%zu\", "
+        "\"run_type\": \"iteration\", \"items_per_second\": %.3f, "
+        "\"real_time\": %.1f, \"time_unit\": \"ns\"},\n"
+        "    {\"name\": \"sweep_setup/overlay\", \"run_type\": \"iteration\", "
+        "\"items_per_second\": %.3f, \"real_time\": %.1f, \"time_unit\": "
+        "\"ns\"},\n"
+        "    {\"name\": \"sweep_setup/recompile\", \"run_type\": "
+        "\"iteration\", \"items_per_second\": %.3f, \"real_time\": %.1f, "
+        "\"time_unit\": \"ns\"}\n"
+        "  ]\n"
+        "}\n",
+        farm.cells_per_sec(), farm.ns_per_cell(), width,
+        batched.cells_per_sec(), batched.ns_per_cell(),
+        n_setups / overlay_s, overlay_s * 1e9 / n_setups,
+        n_setups / recompile_s, recompile_s * 1e9 / n_setups);
+    return 0;
+  }
+
+  std::printf("sweep throughput: %zu cells x %llu trajectories, t_end %.1f\n",
+              cells, static_cast<unsigned long long>(cfg.num_trajectories),
+              cfg.t_end);
+  std::printf("  farm            : %6.2f s  -> %7.2f cells/s (%llu steps)\n",
+              farm.wall_s, farm.cells_per_sec(),
+              static_cast<unsigned long long>(farm.steps));
+  std::printf("  batched w=%-5zu : %6.2f s  -> %7.2f cells/s (%llu steps)\n",
+              width, batched.wall_s, batched.cells_per_sec(),
+              static_cast<unsigned long long>(batched.steps));
+  std::printf("  per-cell setup  : overlay %8.1f ns, recompile %8.1f ns\n",
+              overlay_s * 1e9 / n_setups, recompile_s * 1e9 / n_setups);
+  std::printf("  recompile/overlay ratio: %.1fx (acceptance: >= 10x)\n",
+              setup_ratio);
+  return setup_ratio >= 10.0 ? 0 : 1;
+}

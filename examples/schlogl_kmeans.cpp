@@ -1,13 +1,21 @@
-// On-line k-means classification of trajectories (the "k-means" statistical
-// engine of the paper's analysis pipeline, Fig. 2): the Schlogl system is
-// bistable, and clustering each cut cleanly separates the populations that
-// settled in the low vs high attractor.
+// Sweep-campaign demo: the bistable Schlogl system over an inflow-rate
+// grid — one compiled model, one overlay per parameter cell, N
+// trajectories each, with the per-cell online reductions (Welford moments,
+// P-squared quantiles, k-means(k=2) attractor split) read straight off the
+// sweep report. The k-means split per cell is the paper's
+// "k-means statistical engine" (Fig. 2) applied across a parameter sweep:
+// at the default inflow the population divides between the low (~85) and
+// high (~565) macroscopic states, which ODE modelling would never show
+// (the paper's argument for stochastic simulation, §I).
 //
-//   ./schlogl_kmeans [--trajectories 64] [--t-end 20]
+// Exits non-zero unless the default-parameter cell shows the expected
+// bimodality — the demo doubles as a smoke test.
+//
+//   ./schlogl_kmeans [--trajectories 64] [--t-end 20] [--workers 4]
 #include <cstdio>
 
-#include "core/cwcsim.hpp"
 #include "models/models.hpp"
+#include "sweep/sweep.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -22,40 +30,83 @@ int main(int argc, char** argv) {
   cfg.sample_period = 0.5;
   cfg.quantum = 2.5;
   cfg.sim_workers = static_cast<unsigned>(cli.get_int("workers", 4));
-  cfg.stat_engines = 2;
   cfg.window_size = 8;
   cfg.window_slide = 8;
   cfg.kmeans_k = 2;
 
-  std::printf("Schlogl bistability: k-means(k=2) per cut over %llu trajectories\n",
-              static_cast<unsigned long long>(cfg.num_trajectories));
-  std::printf("%8s %14s %14s %10s %10s\n", "t", "centroid-low", "centroid-high",
-              "n(low)", "n(high)");
+  // Sweep the inflow constant around its bistable default: 200 sits in the
+  // bimodal regime, the flanking cells probe how the attractor balance
+  // shifts with the parameter.
+  const double kDefaultInflow = 200.0;
+  const auto plan =
+      cwcsim::sweep::plan().axis("inflow", {120.0, kDefaultInflow, 280.0});
 
-  // Stream each window's classifications as the analysis pipeline emits
-  // them — the on-line surface a monitoring GUI would subscribe to.
-  auto session = cwcsim::run_builder().model(net).config(cfg).open();
-  session.on_window([](const cwcsim::window_summary& w) {
-    for (const auto& cut : w.cuts) {
-      if (cut.sample_index % 4 != 0 || cut.clusters.centroids.size() != 2)
-        continue;
-      double lo = cut.clusters.centroids[0][0];
-      double hi = cut.clusters.centroids[1][0];
-      std::uint64_t nlo = cut.clusters.sizes[0];
-      std::uint64_t nhi = cut.clusters.sizes[1];
-      if (lo > hi) {
-        std::swap(lo, hi);
-        std::swap(nlo, nhi);
+  std::printf(
+      "Schlogl sweep: %zu inflow cells x %llu trajectories, k-means(k=2) "
+      "per cell\n",
+      plan.num_cells(),
+      static_cast<unsigned long long>(cfg.num_trajectories));
+
+  const auto rep =
+      cwcsim::sweep_builder()
+          .model(net)
+          .config(cfg)
+          .plan(plan)
+          .on_cell_done([](std::uint32_t cell) {
+            std::printf("  [cell %u done]\n", cell);
+          })
+          .run();
+
+  bool default_bimodal = false;
+  for (const auto& cell : rep.cells) {
+    std::printf("\ninflow = %.0f  (%llu trajectories, %llu SSA steps)\n",
+                cell.overrides[0].second,
+                static_cast<unsigned long long>(cell.trajectories),
+                static_cast<unsigned long long>(cell.steps));
+    std::printf("%8s %10s %8s %8s %8s %14s %14s %8s %8s\n", "t", "mean",
+                "q10", "q50", "q90", "centroid-low", "centroid-high", "n(low)",
+                "n(high)");
+    for (const auto& p : cell.points) {
+      if (p.sample_index % 8 != 0) continue;
+      const auto& x = p.observables[0];
+      double lo = 0.0, hi = 0.0;
+      std::uint64_t nlo = 0, nhi = 0;
+      if (p.clusters.centroids.size() == 2) {
+        lo = p.clusters.centroids[0][0];
+        hi = p.clusters.centroids[1][0];
+        nlo = p.clusters.sizes[0];
+        nhi = p.clusters.sizes[1];
+        if (lo > hi) {
+          std::swap(lo, hi);
+          std::swap(nlo, nhi);
+        }
       }
-      std::printf("%8.1f %14.1f %14.1f %10llu %10llu\n", cut.time, lo, hi,
+      std::printf("%8.1f %10.1f %8.1f %8.1f %8.1f %14.1f %14.1f %8llu %8llu\n",
+                  p.time, x.moments.mean(), x.q10, x.q50, x.q90, lo, hi,
                   static_cast<unsigned long long>(nlo),
                   static_cast<unsigned long long>(nhi));
     }
-  });
-  (void)session.wait();
-  std::printf(
-      "\nThe population splits between the low (~85) and high (~565)\n"
-      "macroscopic states; ODE modelling would show only one of them\n"
-      "(the paper's argument for stochastic simulation, §I).\n");
+    // Bimodality gate: at the end of the run the default cell must split
+    // into two populated clusters with well-separated attractors.
+    if (cell.overrides[0].second == kDefaultInflow && !cell.points.empty()) {
+      const auto& last = cell.points.back();
+      if (last.clusters.centroids.size() == 2) {
+        double lo = last.clusters.centroids[0][0];
+        double hi = last.clusters.centroids[1][0];
+        std::uint64_t nlo = last.clusters.sizes[0];
+        std::uint64_t nhi = last.clusters.sizes[1];
+        if (lo > hi) std::swap(nlo, nhi);
+        default_bimodal =
+            nlo > 0 && nhi > 0 && (std::max(lo, hi) - std::min(lo, hi)) > 150.0;
+      }
+    }
+  }
+
+  if (!default_bimodal) {
+    std::printf("\nFAIL: default cell (inflow=200) did not split into two "
+                "attractors\n");
+    return 1;
+  }
+  std::printf("\nOK: default cell is bimodal (low/high attractors found)\n");
   return 0;
 }

@@ -48,6 +48,15 @@ class event_sink {
   /// exactly-once regardless. Default: ignore.
   virtual void quantum_reissued(std::uint64_t /*trajectory*/,
                                 std::uint64_t /*from_quantum*/) {}
+
+  /// Sweep campaigns (sweep/campaign.hpp): `done` of `total` trajectories
+  /// of parameter cell `cell` reached t_end. Default: ignore.
+  virtual void cell_progress(std::uint32_t /*cell*/, std::uint64_t /*done*/,
+                             std::uint64_t /*total*/) {}
+
+  /// Sweep campaigns: every trajectory of parameter cell `cell` finished
+  /// and its report reductions are final. Default: ignore.
+  virtual void cell_done(std::uint32_t /*cell*/) {}
 };
 
 /// event_sink that simply collects the stream — used by the legacy batch

@@ -38,23 +38,70 @@ kernel_mode resolve_mode(kernel_mode requested) {
 
 bool batch_engine::supports(const compiled_model& cm) {
   if (!cm.is_tree()) return false;
-  for (const rule& r : cm.tree()->rules())
+  // Overlay-aware rule table: an overlay's laws live in its patched copies.
+  for (const rule& r : cm.rules())
     if (r.law().law_kind() == rate_law::kind::custom) return false;
   return true;
 }
+
+namespace {
+
+std::vector<batch_engine::lane_desc> iota_lanes(std::uint64_t first,
+                                                std::size_t width) {
+  std::vector<batch_engine::lane_desc> lanes(width);
+  for (std::size_t i = 0; i < width; ++i)
+    lanes[i] = {first + static_cast<std::uint64_t>(i), 0};
+  return lanes;
+}
+
+}  // namespace
 
 batch_engine::batch_engine(std::shared_ptr<const compiled_model> cm,
                            std::uint64_t seed,
                            std::uint64_t first_trajectory_id,
                            std::size_t width, kernel_mode mode)
-    : cm_(std::move(cm)), first_id_(first_trajectory_id) {
-  util::expects(cm_ != nullptr && cm_->is_tree(),
-                "batch_engine needs a compiled tree model");
-  util::expects(supports(*cm_),
-                "batch_engine cannot evaluate custom rate laws");
-  util::expects(width >= 1, "batch_engine needs at least one lane");
+    : batch_engine(
+          std::vector<std::shared_ptr<const compiled_model>>{std::move(cm)},
+          seed, iota_lanes(first_trajectory_id, width), mode) {}
+
+batch_engine::batch_engine(
+    std::vector<std::shared_ptr<const compiled_model>> cells,
+    std::uint64_t seed, std::vector<lane_desc> lanes, kernel_mode mode) {
+  util::expects(!cells.empty(), "batch_engine needs at least one sweep cell");
+  util::expects(!lanes.empty(), "batch_engine needs at least one lane");
+  for (const auto& c : cells) {
+    util::expects(c != nullptr && c->is_tree(),
+                  "batch_engine needs a compiled tree model");
+    util::expects(supports(*c),
+                  "batch_engine cannot evaluate custom rate laws");
+    // One structural root across cells: overlays share their base's model
+    // pointer, so tree() equality is exactly "same structure, same shape
+    // classes, same match schedules".
+    util::expects(c->tree() == cells.front()->tree(),
+                  "sweep cells must be rate overlays of one model");
+  }
+  cells_ = std::move(cells);
+  cm_ = cells_.front();
+  multi_cell_ = cells_.size() > 1;
+  const std::size_t width = lanes.size();
+  lane_ids_.resize(width);
+  lane_cell_.resize(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    util::expects(lanes[i].cell < cells_.size(),
+                  "lane cell index out of range");
+    lane_ids_[i] = lanes[i].trajectory_id;
+    lane_cell_[i] = lanes[i].cell;
+  }
   num_species_ = cm_->num_species();
+  num_rules_ = cm_->num_rules();
   tape_ = &cm_->tape();
+  cell_tapes_.resize(cells_.size());
+  cell_a_.resize(cells_.size() * num_rules_);
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    cell_tapes_[c] = &cells_[c]->tape();
+    for (std::size_t j = 0; j < num_rules_; ++j)
+      cell_a_[c * num_rules_ + j] = cell_tapes_[c]->program(j).a;
+  }
 
   use_wide_ = resolve_mode(mode) == kernel_mode::wide;
   // Row sweeps go wide once this many lanes dirtied the same row: the wide
@@ -125,7 +172,7 @@ batch_engine::batch_engine(std::shared_ptr<const compiled_model> cm,
   }
   std::vector<double> pp(cls->matches.size(), 0.0);
   for (std::uint32_t mi = 0; mi < cls->matches.size(); ++mi)
-    pp[mi] = eval_match_dense(*cls, mi, pc.data(), pw.data());
+    pp[mi] = eval_match_dense(*tape_, *cls, mi, pc.data(), pw.data());
   std::vector<double> pb(n, 0.0);
   for (std::uint32_t b = 0; b < n; ++b) {
     double sub = 0.0;
@@ -149,6 +196,21 @@ batch_engine::batch_engine(std::shared_ptr<const compiled_model> cm,
   for (std::size_t b = 0; b < n; ++b)
     std::fill_n(&P.block_sub[b * cap], cap, pb[b]);
 
+  for (std::size_t l = 0; l < width; ++l)
+    P.cell_of[lane_col_[l]] = lane_cell_[l];
+  if (multi_cell_) {
+    // The proto props carry cell 0's constants. The counts ARE shared (the
+    // initial term is structural), so overlay-cell columns just re-evaluate
+    // their prop rows through their own tape and refold the subtotals.
+    for (std::size_t l = 0; l < width; ++l) {
+      if (lane_cell_[l] == 0) continue;
+      const std::uint32_t col = lane_col_[l];
+      for (std::uint32_t mi = 0; mi < cls->matches.size(); ++mi)
+        P.prop[std::size_t{mi} * cap + col] = eval_match_pool(P, mi, col);
+      for (std::uint32_t b = 0; b < n; ++b) resum_block_col(P, b, col);
+    }
+  }
+
   time_.assign(width, 0.0);
   pending_.assign(width, 0.0);
   has_pending_.assign(width, 0);
@@ -162,7 +224,7 @@ batch_engine::batch_engine(std::shared_ptr<const compiled_model> cm,
   q_emit_horizon_.assign(width, 0.0);
   total_scratch_.assign(width, 0.0);
   t_next_scratch_.assign(width, 0.0);
-  rng_ = util::rng_lane_bank(seed, first_trajectory_id, width);
+  rng_ = util::rng_lane_bank(seed, lane_ids_);
 }
 
 void batch_engine::build_plans() {
@@ -184,7 +246,7 @@ void batch_engine::build_plans() {
     if (std::find(v.begin(), v.end(), s) == v.end()) v.push_back(s);
   };
 
-  const auto& rules = cm_->tree()->rules();
+  const auto& rules = cm_->rules();
   plans_.resize(rules.size());
   for (std::size_t j = 0; j < rules.size(); ++j) {
     const rule& r = rules[j];
@@ -301,6 +363,7 @@ batch_engine::class_pool& batch_engine::pool_for(const shape_class* cls,
     P.prop.assign(nm * P.cap, 0.0);
     P.block_sub.assign(n * P.cap, 0.0);
     P.total.assign(P.cap, 0.0);
+    P.cell_of.assign(P.cap, 0);
     P.free_cols.resize(P.cap);
     for (std::size_t i = 0; i < P.cap; ++i)
       P.free_cols[i] = static_cast<std::uint32_t>(P.cap - 1 - i);
@@ -332,6 +395,7 @@ void batch_engine::grow_pool(class_pool& P) {
   restride(P.prop, nm, 0.0);
   restride(P.block_sub, n, 0.0);
   P.total.resize(newcap, 0.0);
+  P.cell_of.resize(newcap, 0);
   // Growth can land mid-round (a structural fire staging into this pool),
   // so the dirty masks must survive the re-stride word-for-word.
   const auto new_words = static_cast<std::uint32_t>((newcap + 63) / 64);
@@ -431,11 +495,12 @@ void batch_engine::zero_col(class_pool& P, std::uint32_t col) {
   for (std::size_t b = 0; b < n; ++b) P.block_sub[b * cap + col] = 0.0;
 }
 
-double batch_engine::eval_match_dense(const shape_class& C, std::uint32_t mi,
+double batch_engine::eval_match_dense(const rate_tape& T, const shape_class& C,
+                                      std::uint32_t mi,
                                       const std::uint64_t* content,
                                       const std::uint64_t* wrap) const {
   const match_desc& md = C.matches[mi];
-  const tape_program& pg = tape_->program(md.rule);
+  const tape_program& pg = T.program(md.rule);
   const std::uint64_t* host_c = content + std::size_t{md.host} * num_species_;
   const std::uint64_t* cw = nullptr;
   const std::uint64_t* cc = nullptr;
@@ -443,14 +508,15 @@ double batch_engine::eval_match_dense(const shape_class& C, std::uint32_t mi,
     cw = wrap + std::size_t{md.child} * num_species_;
     cc = content + std::size_t{md.child} * num_species_;
   }
-  return tape_->eval(pg, host_c, cw, cc, 1);
+  return T.eval(pg, host_c, cw, cc, 1);
 }
 
 double batch_engine::eval_match_pool(const class_pool& P, std::uint32_t mi,
                                      std::uint32_t col) const {
   const shape_class& C = *P.cls;
   const match_desc& md = C.matches[mi];
-  const tape_program& pg = tape_->program(md.rule);
+  const rate_tape& T = *tape_for_col(P, col);
+  const tape_program& pg = T.program(md.rule);
   const std::size_t cap = P.cap;
   const std::uint64_t* host_c =
       P.content.data() + std::size_t{md.host} * num_species_ * cap + col;
@@ -460,7 +526,22 @@ double batch_engine::eval_match_pool(const class_pool& P, std::uint32_t mi,
     cw = P.wrap.data() + std::size_t{md.child} * num_species_ * cap + col;
     cc = P.content.data() + std::size_t{md.child} * num_species_ * cap + col;
   }
-  return tape_->eval(pg, host_c, cw, cc, cap);
+  return T.eval(pg, host_c, cw, cc, cap);
+}
+
+const double* batch_engine::gather_cell_a(const class_pool& P,
+                                          std::uint32_t rule, tape_head head) {
+  // Only the mass-action head carries a per-cell operand: overlays cannot
+  // patch MM/Hill constants, so those programs are identical across cells
+  // and the shared pg parameter block is right for every column. Free or
+  // stale columns gather a defined (last resident cell's) constant that is
+  // never read for decisions — the usual strip convention.
+  if (!multi_cell_ || head != tape_head::mass_action) return nullptr;
+  a_scratch_.resize(P.cap);
+  const double* base = cell_a_.data() + rule;
+  for (std::size_t c = 0; c < P.cap; ++c)
+    a_scratch_[c] = base[std::size_t{P.cell_of[c]} * num_rules_];
+  return a_scratch_.data();
 }
 
 double batch_engine::fold_total_col(const class_pool& P, std::uint32_t col,
@@ -518,7 +599,8 @@ void batch_engine::flush_pool(class_pool& P) {
       }
       kernels::tape_eval_wide(*tape_, pg, host_c, cw, cc, cap,
                               P.prop.data() + std::size_t{mi} * cap,
-                              wide_scratch_);
+                              wide_scratch_,
+                              gather_cell_a(P, md.rule, pg.head));
     }
     const std::size_t n = C.nodes.size();
     for (std::uint32_t b = 0; b < n; ++b)
@@ -564,7 +646,8 @@ void batch_engine::flush_pool(class_pool& P) {
       }
       kernels::tape_eval_wide(*tape_, pg, host_c, cw, cc, cap,
                               P.prop.data() + std::size_t{mi} * cap,
-                              wide_scratch_);
+                              wide_scratch_,
+                              gather_cell_a(P, md.rule, pg.head));
     } else {
       for (std::uint32_t w = 0; w < W; ++w) {
         std::uint64_t bits = mask[w];
@@ -938,6 +1021,7 @@ void batch_engine::migrate_to_family(std::size_t lane, family& F) {
   const std::vector<std::uint32_t>& map = family_rowmap(F, K);
   class_pool& FP = *F.pool;
   const std::uint32_t colB = alloc_col(FP);
+  FP.cell_of[colB] = lane_cell_[lane];
   zero_col(FP, colB);  // recycled columns must honor the zero invariant
   const std::size_t capA = P.cap;
   const std::size_t capB = FP.cap;
@@ -1185,6 +1269,7 @@ void batch_engine::apply_generic(std::size_t lane, const shape_class& C,
   double* ts = nullptr;
   if (direct) {
     colB = alloc_col(P2);
+    P2.cell_of[colB] = lane_cell_[lane];
     st = P2.cap;
     tc = P2.content.data() + colB;
     tw = P2.wrap.data() + colB;
@@ -1361,9 +1446,10 @@ void batch_engine::apply_generic(std::size_t lane, const shape_class& C,
     ts[std::size_t{i} * st] = P.block_sub[std::size_t{o} * capA + colA];
   }
 
+  const rate_tape& T = *tape_for_lane(lane);
   for (const std::uint32_t mi : eval_list_) {
     const match_desc& m2 = C2->matches[mi];
-    const tape_program& pg = tape_->program(m2.rule);
+    const tape_program& pg = T.program(m2.rule);
     const std::uint64_t* hc = tc + std::size_t{m2.host} * num_species_ * st;
     const std::uint64_t* cw = nullptr;
     const std::uint64_t* cc = nullptr;
@@ -1371,7 +1457,7 @@ void batch_engine::apply_generic(std::size_t lane, const shape_class& C,
       cw = tw + std::size_t{m2.child} * num_species_ * st;
       cc = tc + std::size_t{m2.child} * num_species_ * st;
     }
-    tp[std::size_t{mi} * st] = tape_->eval(pg, hc, cw, cc, st);
+    tp[std::size_t{mi} * st] = T.eval(pg, hc, cw, cc, st);
   }
   // Re-fold every block that was not carried whole (canonical order keeps
   // carried-entry sums bit-identical to a full re-enumeration).
@@ -1393,6 +1479,7 @@ void batch_engine::apply_generic(std::size_t lane, const shape_class& C,
     // Dense fallback: the staged column scatters into the (possibly
     // recycled) pool column only now that staging is complete.
     colB = alloc_col(P2);
+    P2.cell_of[colB] = lane_cell_[lane];
     const std::size_t capB = P2.cap;
     for (std::size_t r = 0; r < std::size_t{n2} * num_species_; ++r) {
       P2.content[r * capB + colB] = new_content_[r];

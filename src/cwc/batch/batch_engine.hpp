@@ -46,6 +46,15 @@
 // IEEE elementary op and libm calls stay scalar per lane
 // (batch_kernels.hpp).
 //
+// Sweep campaigns: the multi-cell constructor batches lanes from DIFFERENT
+// parameter cells of one campaign — rate-constant overlays of one
+// structural root (compiled_model::overlay) — into one engine. Shape
+// classes, match schedules, and pools are functions of the shared
+// structure, so cross-cell lanes land in the same pools and vectorize in
+// the same row sweeps; the only per-cell state is the patched rate tape,
+// threaded as a per-column tape choice on the scalar paths and a gathered
+// per-column constant row (a_col) on the wide mass-action head.
+//
 // Custom rate laws (opaque callables over the full match context) and flat
 // reaction networks are not batchable; `supports()` gates construction and
 // the backends fall back to scalar lanes.
@@ -90,15 +99,33 @@ class batch_engine {
                std::uint64_t first_trajectory_id, std::size_t width,
                kernel_mode mode = kernel_mode::automatic);
 
+  /// One lane of a multi-cell batch: which trajectory stream it owns and
+  /// which sweep cell's rate constants it runs under.
+  struct lane_desc {
+    std::uint64_t trajectory_id = 0;
+    std::uint32_t cell = 0;  ///< index into the cells vector
+  };
+
+  /// Sweep-cell form: lanes from different parameter cells of one campaign
+  /// share the batch. All cells must be rate-constant overlays of ONE
+  /// structural root (compiled_model::overlay), so every lane has the same
+  /// tree shapes, match schedules, and dependency index — they pool and
+  /// vectorize together; only the constant-scale operand of mass-action
+  /// propensities differs per lane. Lane i replays bit-for-bit the scalar
+  /// engine `cwc::engine(cells[lanes[i].cell], seed, lanes[i].trajectory_id)`
+  /// under the same quantum schedule. Requires supports() on every cell.
+  batch_engine(std::vector<std::shared_ptr<const compiled_model>> cells,
+               std::uint64_t seed, std::vector<lane_desc> lanes,
+               kernel_mode mode = kernel_mode::automatic);
 
   /// True when `cm` is a tree model whose rate laws all have closed forms
   /// (no custom callables) — the precondition for SoA evaluation.
   static bool supports(const compiled_model& cm);
 
   std::size_t width() const noexcept { return lane_pool_.size(); }
-  std::uint64_t lane_id(std::size_t lane) const {
-    return first_id_ + static_cast<std::uint64_t>(lane);
-  }
+  std::uint64_t lane_id(std::size_t lane) const { return lane_ids_[lane]; }
+  /// Sweep cell the lane runs under (0 for single-model batches).
+  std::uint32_t lane_cell(std::size_t lane) const { return lane_cell_[lane]; }
   double time(std::size_t lane) const { return time_[lane]; }
   std::uint64_t steps(std::size_t lane) const { return steps_[lane]; }
   bool stalled(std::size_t lane) const { return stalled_[lane] != 0; }
@@ -213,6 +240,10 @@ class batch_engine {
     std::vector<double> prop;            ///< [match * cap + col]
     std::vector<double> block_sub;       ///< [node * cap + col]
     std::vector<double> total;           ///< [col], refreshed per round
+    /// [col] -> sweep cell of the resident lane (stale-but-defined for
+    /// free columns, like every other strip; 0 throughout single-cell
+    /// batches). Read only by the multi-cell constant gather.
+    std::vector<std::uint32_t> cell_of;
     std::vector<std::uint32_t> free_cols;
     std::size_t live = 0;
 
@@ -313,9 +344,10 @@ class batch_engine {
   const transition& find_transition(const shape_class& C, const match_desc& md,
                                     const rule_plan& rp);
   /// Tape evaluation of match `mi` over dense (stride-1) per-node rows —
-  /// construction protos and structural staging.
-  double eval_match_dense(const shape_class& C, std::uint32_t mi,
-                          const std::uint64_t* content,
+  /// construction protos and structural staging. `T` is the evaluating
+  /// lane's cell tape (tape_ outside multi-cell batches).
+  double eval_match_dense(const rate_tape& T, const shape_class& C,
+                          std::uint32_t mi, const std::uint64_t* content,
                           const std::uint64_t* wrap) const;
   /// Tape evaluation of match `mi` for one pool column (stride = cap).
   double eval_match_pool(const class_pool& P, std::uint32_t mi,
@@ -386,8 +418,40 @@ class batch_engine {
   std::shared_ptr<const compiled_model> cm_;
   const rate_tape* tape_ = nullptr;  ///< cm_'s tape (kept hot)
   std::size_t num_species_ = 0;
-  std::uint64_t first_id_ = 0;
+  std::size_t num_rules_ = 0;
   std::vector<rule_plan> plans_;
+
+  // ---- sweep-cell state (degenerate single-cell values otherwise) -----
+  /// The cell artifacts, cells_[0] == cm_. Structure (shape classes,
+  /// plans, dependency index) comes from the shared root; per-cell state
+  /// is exactly the patched rate tapes.
+  std::vector<std::shared_ptr<const compiled_model>> cells_;
+  std::vector<const rate_tape*> cell_tapes_;  ///< cells_[c]'s tape
+  /// [cell * num_rules_ + rule] -> that cell tape's constant-scale operand
+  /// (the only per-cell wide-kernel input; gathered per column into
+  /// a_scratch_ for mass-action rows).
+  std::vector<double> cell_a_;
+  std::vector<std::uint64_t> lane_ids_;   ///< [lane] trajectory id
+  std::vector<std::uint32_t> lane_cell_;  ///< [lane] sweep cell
+  /// More than one cell resident: per-column tape selection and the
+  /// wide-kernel constant gather switch on. False keeps every single-model
+  /// path byte-identical to the pre-sweep engine.
+  bool multi_cell_ = false;
+
+  /// Cell tape whose constants govern pool column / lane (the root tape in
+  /// single-cell batches — same object, same bits).
+  const rate_tape* tape_for_col(const class_pool& P, std::uint32_t col) const {
+    return multi_cell_ ? cell_tapes_[P.cell_of[col]] : tape_;
+  }
+  const rate_tape* tape_for_lane(std::size_t lane) const {
+    return multi_cell_ ? cell_tapes_[lane_cell_[lane]] : tape_;
+  }
+  /// Per-column mass-action constants for a wide sweep of `rule`'s row, or
+  /// nullptr when the shared pg.a is already right for every column
+  /// (single-cell batches and every non-mass-action head).
+  const double* gather_cell_a(const class_pool& P, std::uint32_t rule,
+                              tape_head head);
+
   bool use_wide_ = false;
   /// Minimum dirty-column count for a row sweep to go wide (SIZE_MAX in
   /// scalar mode, so the fallback never touches the wide kernels).
@@ -451,6 +515,7 @@ class batch_engine {
 
   // Reused scratch (no per-step allocation once warmed up).
   kernels::wide_scratch wide_scratch_;
+  std::vector<double> a_scratch_;  ///< gathered per-column cell constants
   std::vector<std::uint32_t> active_lanes_;  ///< round list of one quantum
   std::vector<std::uint32_t> draw_list_;     ///< lanes drawing a clock
   std::vector<std::uint32_t> fire_list_;     ///< lanes firing this round

@@ -109,11 +109,20 @@ inline void eval_segment(const tape_op* ops, std::uint32_t n_ops,
 /// `child_c` point at column 0 of the respective compartment's first
 /// species row; element (sp, c) lives at base[sp * cap + c]. `child_*`
 /// may be null when the program binds no child.
+///
+/// `a_col`, when non-null, supplies a per-column constant-scale operand
+/// replacing pg.a — the sweep-cell path, where lanes of different
+/// parameter cells share one strip and only the mass-action constant
+/// differs per lane (overlays cannot patch the other heads, so those
+/// always read pg's shared parameter block). Per column the arithmetic is
+/// exactly rate_tape::eval on that column's cell tape: a_col[c] IS that
+/// tape's pg.a, multiplied in the same position of the same expression.
 inline void tape_eval_wide(const rate_tape& tape, const tape_program& pg,
                            const std::uint64_t* host_c,
                            const std::uint64_t* child_w,
                            const std::uint64_t* child_c, std::size_t cap,
-                           double* __restrict__ out, wide_scratch& ws) {
+                           double* __restrict__ out, wide_scratch& ws,
+                           const double* __restrict__ a_col = nullptr) {
   ws.ensure(cap);
   std::uint64_t* __restrict__ ok = ws.ok.data();
   for (std::size_t c = 0; c < cap; ++c) ok[c] = 1;
@@ -151,9 +160,16 @@ inline void tape_eval_wide(const rate_tape& tape, const tape_program& pg,
   const double a = pg.a;
   switch (pg.head) {
     case tape_head::mass_action:
-      for (std::size_t c = 0; c < cap; ++c) {
-        const double p = a * comb[c];
-        out[c] = ((ok[c] != 0) & (p > 0.0)) ? p : 0.0;
+      if (a_col != nullptr) {
+        for (std::size_t c = 0; c < cap; ++c) {
+          const double p = a_col[c] * comb[c];
+          out[c] = ((ok[c] != 0) & (p > 0.0)) ? p : 0.0;
+        }
+      } else {
+        for (std::size_t c = 0; c < cap; ++c) {
+          const double p = a * comb[c];
+          out[c] = ((ok[c] != 0) & (p > 0.0)) ? p : 0.0;
+        }
       }
       return;
     case tape_head::michaelis_menten: {

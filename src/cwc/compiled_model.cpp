@@ -38,14 +38,66 @@ bool any_bit(const std::vector<char>& a) {
 
 }  // namespace
 
+std::atomic<std::uint64_t> compiled_model::compiles_{0};
+
 std::shared_ptr<const compiled_model> compiled_model::finish(
     std::shared_ptr<compiled_model> cm) {
+  compiles_.fetch_add(1, std::memory_order_relaxed);
   if (cm->tree_ != nullptr) {
     cm->build_tree_tables();
   } else {
     cm->build_flat_tables();
   }
   return cm;
+}
+
+std::shared_ptr<const compiled_model> compiled_model::overlay(
+    std::shared_ptr<const compiled_model> base,
+    const std::vector<rate_override>& overrides) {
+  util::expects(base != nullptr, "overlay requires a base artifact");
+  auto ov = std::shared_ptr<compiled_model>(new compiled_model());
+  // Collapse overlay-of-overlay chains: tables always route to the
+  // structural root, whose lifetime `base` (transitively) guarantees.
+  ov->tables_ = base->tables_;
+
+  if (base->is_tree()) {
+    ov->tree_ = base->tree_;
+    // Start from base's (possibly already overlaid) rules and tape so
+    // stacked overlays compose; both are small flat copies — the shared
+    // dependency index and plans above are never touched.
+    ov->overlay_rules_.emplace(base->rules());
+    ov->tape_ = base->tape_;
+    for (const auto& [name, value] : overrides) {
+      bool found = false;
+      for (std::size_t j = 0; j < ov->overlay_rules_->size(); ++j) {
+        rule& r = (*ov->overlay_rules_)[j];
+        if (r.name() != name) continue;
+        r = r.with_law(r.law().with_constant(value, name));
+        ov->tape_.patch_constant(j, value);
+        found = true;
+      }
+      if (!found)
+        throw overlay_error(name, "no rule with this name in the model");
+    }
+  } else {
+    // Flat overlay: the reaction table IS the per-cell state, so patch an
+    // owned copy; the Gibson-Bruck dependency graph still routes to the
+    // root (constants cannot change the species footprint).
+    ov->owned_flat_.emplace(*base->flat_);
+    ov->flat_ = &*ov->owned_flat_;
+    for (const auto& [name, value] : overrides) {
+      bool found = false;
+      for (reaction& rx : ov->owned_flat_->reactions_mut()) {
+        if (rx.name != name) continue;
+        rx.law = rx.law.with_constant(value, name);
+        found = true;
+      }
+      if (!found)
+        throw overlay_error(name, "no reaction with this name in the network");
+    }
+  }
+  ov->base_ = std::move(base);
+  return ov;
 }
 
 std::shared_ptr<const compiled_model> compiled_model::compile(const model& m) {
@@ -77,7 +129,7 @@ std::shared_ptr<const compiled_model> compiled_model::compile(
 }
 
 std::size_t compiled_model::num_rules() const noexcept {
-  return tree_ != nullptr ? tree_->rules().size() : flat_->reactions().size();
+  return tree_ != nullptr ? rules().size() : flat_->reactions().size();
 }
 
 std::size_t compiled_model::num_species() const noexcept {
@@ -230,10 +282,11 @@ void compiled_model::observe_all(const term& state,
                                  std::vector<std::uint64_t>& scratch,
                                  std::vector<double>& out) const {
   util::expects(tree_ != nullptr, "observable plans need a tree model");
-  scratch.assign(observables_.size(), 0);
+  const auto& observables = tables_->observables_;
+  scratch.assign(observables.size(), 0);
   state.visit([&](const compartment& c) {
-    for (std::size_t i = 0; i < observables_.size(); ++i) {
-      const observable_plan& p = observables_[i];
+    for (std::size_t i = 0; i < observables.size(); ++i) {
+      const observable_plan& p = observables[i];
       if (!p.scoped) {
         scratch[i] += c.content().count(p.sp) + c.wrap().count(p.sp);
       } else if (c.type() == p.scope) {
@@ -242,7 +295,7 @@ void compiled_model::observe_all(const term& state,
     }
   });
   out.clear();
-  out.reserve(observables_.size());
+  out.reserve(observables.size());
   for (const std::uint64_t v : scratch) out.push_back(static_cast<double>(v));
 }
 

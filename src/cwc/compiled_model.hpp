@@ -31,9 +31,12 @@
 // next_reaction.cpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "cwc/model.hpp"
@@ -53,6 +56,35 @@ class compiled_model {
   /// Compile a flat reaction network, taking ownership.
   static std::shared_ptr<const compiled_model> compile(reaction_network&& n);
 
+  /// One overlay override: the named rule/reaction's mass-action constant
+  /// becomes `value`.
+  using rate_override = std::pair<std::string, double>;
+
+  /// A rate-constant overlay of `base`: a cheap per-sweep-cell artifact that
+  /// SHARES base's structure — the dependency index, per-type rule lists,
+  /// redo lists, write flags, and observable plans are never recopied or
+  /// recomputed (and the compile counter does not tick) — while the rule
+  /// table, the rate-tape constant-scale operands, and (for flat networks)
+  /// the reaction table carry the patched constants. Engines constructed
+  /// from the overlay replay exactly the trajectory a full recompile of the
+  /// patched model would produce, bit for bit.
+  ///
+  /// Throws overlay_error when a named rule does not exist or its law is
+  /// not mass-action (rate_law::with_constant). Overlaying an overlay is
+  /// allowed; tables keep routing to the structural root.
+  static std::shared_ptr<const compiled_model> overlay(
+      std::shared_ptr<const compiled_model> base,
+      const std::vector<rate_override>& overrides);
+
+  /// True for artifacts produced by overlay() rather than compile().
+  bool is_overlay() const noexcept { return base_ != nullptr; }
+
+  /// Number of full compile() passes since process start — the proof knob
+  /// for "one compile per sweep campaign": overlays never increment it.
+  static std::uint64_t compile_count() noexcept {
+    return compiles_.load(std::memory_order_relaxed);
+  }
+
   compiled_model(const compiled_model&) = delete;
   compiled_model& operator=(const compiled_model&) = delete;
 
@@ -68,28 +100,44 @@ class compiled_model {
   std::size_t num_observables() const noexcept;
 
   // ---- tree tables (valid when is_tree()) ---------------------------
+  // Accessors route through tables_ — `this` for compiled artifacts, the
+  // structural root for overlays — so an overlay shares the root's
+  // dependency index and plans without copying a single table.
+
+  /// The rule table of a tree model, declaration order: the root's rules,
+  /// or this overlay's patched copies. Engines must read rules (and thus
+  /// rate laws) through HERE, never via tree()->rules(), or overlays would
+  /// silently evaluate the base constants.
+  const std::vector<rule>& rules() const noexcept {
+    return overlay_rules_.has_value() ? *overlay_rules_ : tree_->rules();
+  }
+
   /// Rules applicable inside a compartment of type `t`, declaration order.
   const std::vector<std::uint32_t>& rules_for_type(comp_type_id t) const {
-    return rules_for_type_[t];
+    return tables_->rules_for_type_[t];
   }
   /// [rule] -> slot index inside a type-`t` match block, or -1.
   const std::vector<std::int32_t>& slot_of(comp_type_id t) const {
-    return slot_of_[t];
+    return tables_->slot_of_[t];
   }
   /// After rule `j` fires: rules to re-enumerate in the host block, the
   /// bound child's block, and the host's parent block.
   const std::vector<std::uint32_t>& redo_host(std::uint32_t j) const {
-    return redo_host_[j];
+    return tables_->redo_host_[j];
   }
   const std::vector<std::uint32_t>& redo_child(std::uint32_t j) const {
-    return redo_child_[j];
+    return tables_->redo_child_[j];
   }
   const std::vector<std::uint32_t>& redo_parent(std::uint32_t j) const {
-    return redo_parent_[j];
+    return tables_->redo_parent_[j];
   }
   /// Rule `j` writes the host content / the kept bound child's content.
-  bool writes_host(std::uint32_t j) const { return writes_host_[j] != 0; }
-  bool writes_child(std::uint32_t j) const { return writes_child_[j] != 0; }
+  bool writes_host(std::uint32_t j) const {
+    return tables_->writes_host_[j] != 0;
+  }
+  bool writes_child(std::uint32_t j) const {
+    return tables_->writes_child_[j] != 0;
+  }
 
   /// One observable reduced to indices: no name or std::optional traffic
   /// on the sampling path. Public so the batch engine can evaluate the same
@@ -102,7 +150,7 @@ class compiled_model {
 
   /// The compiled observable plans of a tree model, in observable order.
   const std::vector<observable_plan>& observable_plans() const noexcept {
-    return observables_;
+    return tables_->observables_;
   }
 
   /// The rate-law bytecode tape of a tree model (one program per rule,
@@ -123,7 +171,7 @@ class compiled_model {
   /// Gibson–Bruck dependency list: reactions (excluding `j` itself) whose
   /// propensity may change after reaction `j` fires, ascending index.
   const std::vector<std::uint32_t>& depends(std::size_t j) const {
-    return depends_[j];
+    return tables_->depends_[j];
   }
 
  private:
@@ -137,7 +185,17 @@ class compiled_model {
   const model* tree_ = nullptr;
   const reaction_network* flat_ = nullptr;
   std::optional<model> owned_tree_;             ///< wire-decode ownership
-  std::optional<reaction_network> owned_flat_;  ///< wire-decode ownership
+  std::optional<reaction_network> owned_flat_;  ///< wire-decode / flat-overlay ownership
+
+  /// Where the shared static tables live: `this` for compiled artifacts,
+  /// the structural ROOT (never an intermediate overlay) for overlays.
+  const compiled_model* tables_ = this;
+  /// Keeps the root alive for overlays; nullptr for compiled artifacts.
+  std::shared_ptr<const compiled_model> base_;
+  /// Patched rule copies of a tree overlay (absent on compiled artifacts).
+  std::optional<std::vector<rule>> overlay_rules_;
+
+  static std::atomic<std::uint64_t> compiles_;  ///< full-compile counter
 
   // Tree tables (see accessor docs).
   std::vector<std::vector<std::uint32_t>> rules_for_type_;

@@ -51,7 +51,7 @@ engine::comp_block& engine::ensure_block(compartment& c) {
 
 void engine::enumerate_slot(comp_block& b, rule_slot& sl) {
   sl.matches.clear();  // capacity retained: no allocation once warmed up
-  model_->rules()[sl.rule].for_each_match(
+  cm_->rules()[sl.rule].for_each_match(
       *b.comp, [&](std::size_t child, double p) {
         sl.matches.push_back(
             match_rec{child == rule::no_child
@@ -182,7 +182,7 @@ void engine::fire(double target) {
   }
   util::ensures(found, "SSA selection on empty match set");
 
-  const rule& r = model_->rules()[rule_idx];
+  const rule& r = cm_->rules()[rule_idx];
   rule::match m;
   if (child != kNoChild) m.child_index = child;
   compartment* host = chosen->comp;
@@ -313,7 +313,7 @@ bool engine::check_match_cache(double rel_tol) const {
         return;
       }
       std::size_t mi = 0;
-      model_->rules()[sl.rule].for_each_match(
+      cm_->rules()[sl.rule].for_each_match(
           c, [&](std::size_t child, double p) {
             fresh_sub += p;
             if (!ok || mi >= sl.matches.size()) {

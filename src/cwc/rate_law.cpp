@@ -36,6 +36,18 @@ rate_law rate_law::hill_activation(double v, double k, double n, species_id driv
   return law;
 }
 
+rate_law rate_law::with_constant(double k, std::string_view rule_name) const {
+  if (kind_ != kind::mass_action)
+    throw overlay_error(std::string(rule_name),
+                        "only mass-action constants can be overlaid");
+  if (!(k >= 0.0))  // NaN rejected too
+    throw overlay_error(std::string(rule_name),
+                        "overlay constant must be non-negative");
+  rate_law law = *this;
+  law.a_ = k;
+  return law;
+}
+
 rate_law rate_law::custom(custom_fn fn) {
   util::expects(fn != nullptr, "custom rate law requires a callable");
   return rate_law(kind::custom, 0, 0, 0, 0, false, std::move(fn));

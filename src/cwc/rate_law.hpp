@@ -13,11 +13,31 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
+#include <string>
 
 #include "cwc/multiset.hpp"
 #include "cwc/species.hpp"
 
 namespace cwc {
+
+/// A rate-constant overlay was requested on a law that has no single
+/// overlayable constant (MM/Hill carry several coupled parameters, custom
+/// laws an opaque callable) or named a rule the model does not have. Typed
+/// so sweep campaigns can reject bad plans up front instead of surfacing a
+/// generic precondition failure from deep inside the engines.
+class overlay_error : public std::invalid_argument {
+ public:
+  overlay_error(std::string rule, const std::string& what)
+      : std::invalid_argument("rate overlay on '" + rule + "': " + what),
+        rule_(std::move(rule)) {}
+
+  /// The rule/reaction name the overlay targeted.
+  const std::string& rule() const noexcept { return rule_; }
+
+ private:
+  std::string rule_;
+};
 
 namespace detail {
 
@@ -117,6 +137,15 @@ class rate_law {
 
   /// The mass-action constant; only meaningful when is_mass_action().
   double constant() const noexcept { return a_; }
+
+  /// Rebind the mass-action constant: a copy of this law with `k` in place
+  /// of the original constant, produced WITHOUT re-running the factory
+  /// validation/parse path — the sweep overlay primitive (M cells patch one
+  /// compiled law table instead of rebuilding M models). Throws
+  /// overlay_error for every non-mass-action law: MM/Hill carry several
+  /// coupled parameters and custom laws an opaque callable, so "the"
+  /// constant is ill-defined for them. `rule_name` only labels the error.
+  rate_law with_constant(double k, std::string_view rule_name = "") const;
 
   // ---- introspection (wire codec / tape compiler / diagnostics) -----
   // Everything the rate-law bytecode tape compiler needs is public here —

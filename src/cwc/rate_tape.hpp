@@ -36,6 +36,7 @@
 #include "cwc/multiset.hpp"
 #include "cwc/rate_law.hpp"
 #include "cwc/species.hpp"
+#include "util/check.hpp"
 
 namespace cwc {
 
@@ -96,6 +97,18 @@ class rate_tape {
     return progs_[rule];
   }
   const tape_op* ops() const noexcept { return ops_.data(); }
+
+  /// Rewrite the constant-scale operand of rule `rule`'s program — the
+  /// sweep-overlay patch path. Only mass-action heads have a single
+  /// overlayable constant (p = a * comb); the compiled_model overlay layer
+  /// guards the head kind via rate_law::with_constant before calling this,
+  /// so a mismatch here is a programming error, not user input.
+  void patch_constant(std::size_t rule, double a) {
+    util::expects(rule < progs_.size() &&
+                      progs_[rule].head == tape_head::mass_action,
+                  "tape constant patch needs a mass-action program");
+    progs_[rule].a = a;
+  }
 
   /// Scalar tape walk over strided count arrays: element `sp` of a count
   /// row lives at base[sp * stride] (stride 1 for dense per-compartment

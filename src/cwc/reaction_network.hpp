@@ -40,6 +40,9 @@ class reaction_network {
                            std::vector<stoich> products, rate_law law);
 
   const std::vector<reaction>& reactions() const noexcept { return reactions_; }
+  /// Mutable access for the compiled_model overlay layer, which patches
+  /// rate constants in an owned copy; not part of the model-building API.
+  std::vector<reaction>& reactions_mut() noexcept { return reactions_; }
 
   /// Propensity of reaction `j` for the given state.
   double propensity(std::size_t j, const multiset& state) const;

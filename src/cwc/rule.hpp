@@ -75,6 +75,15 @@ class rule {
   comp_type_id context() const noexcept { return context_; }
   const rate_law& law() const noexcept { return law_; }
 
+  /// A copy of this rule with `law` in place of the original — the sweep
+  /// overlay primitive. Patterns, products, and fate are shared structure
+  /// semantics and copy verbatim; only the kinetics change.
+  rule with_law(rate_law law) const {
+    rule r = *this;
+    r.law_ = std::move(law);
+    return r;
+  }
+
   /// True when this rule can fire inside a compartment of type `t`.
   bool applies_in(comp_type_id t) const noexcept {
     return context_ == any_compartment || context_ == t;

@@ -1,0 +1,54 @@
+#include "sweep/plan.hpp"
+
+namespace cwcsim::sweep {
+
+plan& plan::axis_linspace(std::string rate, double lo, double hi,
+                          std::size_t n) {
+  std::vector<double> values;
+  values.reserve(n);
+  if (n == 1) {
+    values.push_back(lo);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      values.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                                static_cast<double>(n - 1));
+    }
+  }
+  return axis(std::move(rate), std::move(values));
+}
+
+std::size_t plan::num_cells() const noexcept {
+  std::size_t grid = axes_.empty() ? 0 : 1;
+  for (const axis_decl& a : axes_) grid *= a.values.size();
+  return grid + explicit_.size();
+}
+
+std::vector<cell_decl> plan::cells() const {
+  std::vector<cell_decl> out;
+  out.reserve(num_cells());
+  if (!axes_.empty()) {
+    // Row-major cartesian product: odometer over per-axis value indices,
+    // last axis fastest, so cell order is reproducible from the plan alone.
+    std::vector<std::size_t> idx(axes_.size(), 0);
+    bool live = true;
+    for (const axis_decl& a : axes_) live = live && !a.values.empty();
+    while (live) {
+      cell_decl c;
+      c.overrides.reserve(axes_.size());
+      for (std::size_t k = 0; k < axes_.size(); ++k)
+        c.overrides.emplace_back(axes_[k].rate, axes_[k].values[idx[k]]);
+      out.push_back(std::move(c));
+      std::size_t k = axes_.size();
+      while (k > 0) {
+        --k;
+        if (++idx[k] < axes_[k].values.size()) break;
+        idx[k] = 0;
+        if (k == 0) live = false;
+      }
+    }
+  }
+  for (const cell_decl& c : explicit_) out.push_back(c);
+  return out;
+}
+
+}  // namespace cwcsim::sweep

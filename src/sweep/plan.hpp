@@ -1,0 +1,70 @@
+// Declarative sweep-campaign plans: which named mass-action rate constants
+// vary, and over which values. A plan is pure data — materializing it
+// yields the campaign's M parameter cells (the cartesian product of the
+// grid axes, then any explicitly listed cells), each a small list of
+// rate overrides that cwc::compiled_model::overlay applies to the ONE
+// compiled artifact the whole campaign shares.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cwc/compiled_model.hpp"
+
+namespace cwcsim::sweep {
+
+/// One override: the named rule/reaction's mass-action constant -> value.
+using rate_override = cwc::compiled_model::rate_override;
+
+/// One grid axis: the named rate constant takes each listed value.
+struct axis_decl {
+  std::string rate;
+  std::vector<double> values;
+};
+
+/// One parameter cell: the overrides applied to the base model.
+struct cell_decl {
+  std::vector<rate_override> overrides;
+};
+
+/// A sweep plan: grid axes (combined as a cartesian product) plus explicit
+/// off-grid cells. Builder-style; validation happens in cwcsim::validate
+/// (typed config_error diagnostics), not here.
+class plan {
+ public:
+  /// Add a grid axis over the named rate constant.
+  plan& axis(std::string rate, std::vector<double> values) {
+    axes_.push_back({std::move(rate), std::move(values)});
+    return *this;
+  }
+
+  /// Convenience grid axis: `n` evenly spaced values in [lo, hi]
+  /// (n == 1 yields just lo).
+  plan& axis_linspace(std::string rate, double lo, double hi, std::size_t n);
+
+  /// Add one explicit cell, appended after every grid cell.
+  plan& add_cell(std::vector<rate_override> overrides) {
+    explicit_.push_back({std::move(overrides)});
+    return *this;
+  }
+
+  const std::vector<axis_decl>& axes() const noexcept { return axes_; }
+  const std::vector<cell_decl>& explicit_cells() const noexcept {
+    return explicit_;
+  }
+
+  /// Number of parameter cells this plan materializes.
+  std::size_t num_cells() const noexcept;
+
+  /// Materialize the cells in campaign order: the grid's cartesian product
+  /// in row-major order (first axis slowest), then the explicit cells.
+  /// Each grid cell lists its overrides in axis-declaration order.
+  std::vector<cell_decl> cells() const;
+
+ private:
+  std::vector<axis_decl> axes_;
+  std::vector<cell_decl> explicit_;
+};
+
+}  // namespace cwcsim::sweep

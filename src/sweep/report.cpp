@@ -1,0 +1,152 @@
+#include "sweep/report.hpp"
+
+#include <cstdio>
+
+namespace cwcsim::sweep {
+
+namespace {
+
+// Minimal JSON writer: enough for the report's shape (identifier-ish
+// strings still get the mandatory escapes so output is always valid).
+void put_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void put_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void put_observable(std::string& out, const observable_summary& o) {
+  out += "{\"count\":";
+  put_u64(out, o.moments.count());
+  out += ",\"mean\":";
+  put_double(out, o.moments.mean());
+  out += ",\"variance\":";
+  put_double(out, o.moments.variance());
+  out += ",\"min\":";
+  put_double(out, o.moments.min());
+  out += ",\"max\":";
+  put_double(out, o.moments.max());
+  out += ",\"q10\":";
+  put_double(out, o.q10);
+  out += ",\"q50\":";
+  put_double(out, o.q50);
+  out += ",\"q90\":";
+  put_double(out, o.q90);
+  out += '}';
+}
+
+void put_clusters(std::string& out, const stats::kmeans_result& k) {
+  out += "{\"centroids\":[";
+  for (std::size_t c = 0; c < k.centroids.size(); ++c) {
+    if (c != 0) out += ',';
+    out += '[';
+    for (std::size_t d = 0; d < k.centroids[c].size(); ++d) {
+      if (d != 0) out += ',';
+      put_double(out, k.centroids[c][d]);
+    }
+    out += ']';
+  }
+  out += "],\"sizes\":[";
+  for (std::size_t c = 0; c < k.sizes.size(); ++c) {
+    if (c != 0) out += ',';
+    put_u64(out, k.sizes[c]);
+  }
+  out += "],\"inertia\":";
+  put_double(out, k.inertia);
+  out += '}';
+}
+
+void put_point(std::string& out, const point_summary& p) {
+  out += "{\"sample_index\":";
+  put_u64(out, p.sample_index);
+  out += ",\"time\":";
+  put_double(out, p.time);
+  out += ",\"observables\":[";
+  for (std::size_t d = 0; d < p.observables.size(); ++d) {
+    if (d != 0) out += ',';
+    put_observable(out, p.observables[d]);
+  }
+  out += ']';
+  if (!p.clusters.centroids.empty()) {
+    out += ",\"clusters\":";
+    put_clusters(out, p.clusters);
+  }
+  out += '}';
+}
+
+void put_cell(std::string& out, const cell_report& c) {
+  out += "{\"overrides\":[";
+  for (std::size_t i = 0; i < c.overrides.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"rate\":";
+    put_string(out, c.overrides[i].first);
+    out += ",\"value\":";
+    put_double(out, c.overrides[i].second);
+    out += '}';
+  }
+  out += "],\"trajectories\":";
+  put_u64(out, c.trajectories);
+  out += ",\"steps\":";
+  put_u64(out, c.steps);
+  out += ",\"points\":[";
+  for (std::size_t i = 0; i < c.points.size(); ++i) {
+    if (i != 0) out += ',';
+    put_point(out, c.points[i]);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+const cell_report* report::find(
+    const std::vector<rate_override>& overrides) const noexcept {
+  for (const cell_report& c : cells)
+    if (c.overrides == overrides) return &c;
+  return nullptr;
+}
+
+std::string report::to_json() const {
+  std::string out;
+  out += "{\"observables\":[";
+  for (std::size_t i = 0; i < observables.size(); ++i) {
+    if (i != 0) out += ',';
+    put_string(out, observables[i]);
+  }
+  out += "],\"stopped\":";
+  out += stopped ? "true" : "false";
+  out += ",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out += ',';
+    put_cell(out, cells[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cwcsim::sweep

@@ -1,0 +1,8 @@
+// Umbrella header for the sweep-campaign subsystem: plans (which rate
+// constants vary), reports (per-cell online reductions), and the campaign
+// runner (cwcsim::run_sweep / cwcsim::sweep_builder).
+#pragma once
+
+#include "sweep/campaign.hpp"
+#include "sweep/plan.hpp"
+#include "sweep/report.hpp"

@@ -238,18 +238,17 @@ class rng_lane_bank {
 
   rng_lane_bank(std::uint64_t seed, std::uint64_t first_id, std::size_t n)
       : s0_(n), s1_(n), s2_(n), s3_(n) {
-    for (std::size_t i = 0; i < n; ++i) {
-      // rng_stream's seeding chain, verbatim: key = mix(seed, id), then
-      // xoshiro256ss seeded through SplitMix64(key).
-      splitmix64 keyer(seed ^ (0x9e3779b97f4a7c15ULL *
-                               (first_id + static_cast<std::uint64_t>(i) + 1)));
-      (void)keyer();
-      splitmix64 sm(keyer());
-      s0_[i] = sm();
-      s1_[i] = sm();
-      s2_[i] = sm();
-      s3_[i] = sm();
-    }
+    for (std::size_t i = 0; i < n; ++i)
+      seed_lane(i, seed, first_id + static_cast<std::uint64_t>(i));
+  }
+
+  /// Explicit-ids form: lane i owns the exact stream rng_stream(seed,
+  /// ids[i]). Sweep batches pack lanes from different parameter cells whose
+  /// trajectory ids restart per cell, so consecutive lanes no longer map to
+  /// consecutive stream ids.
+  rng_lane_bank(std::uint64_t seed, const std::vector<std::uint64_t>& ids)
+      : s0_(ids.size()), s1_(ids.size()), s2_(ids.size()), s3_(ids.size()) {
+    for (std::size_t i = 0; i < ids.size(); ++i) seed_lane(i, seed, ids[i]);
   }
 
   std::size_t size() const noexcept { return s0_.size(); }
@@ -303,6 +302,18 @@ class rng_lane_bank {
   }
   static double to_uniform_pos(std::uint64_t r) noexcept {
     return static_cast<double>((r >> 11) + 1) * 0x1.0p-53;
+  }
+
+  /// rng_stream's seeding chain, verbatim: key = mix(seed, id), then
+  /// xoshiro256ss seeded through SplitMix64(key).
+  void seed_lane(std::size_t i, std::uint64_t seed, std::uint64_t id) noexcept {
+    splitmix64 keyer(seed ^ (0x9e3779b97f4a7c15ULL * (id + 1)));
+    (void)keyer();
+    splitmix64 sm(keyer());
+    s0_[i] = sm();
+    s1_[i] = sm();
+    s2_[i] = sm();
+    s3_[i] = sm();
   }
 
   /// xoshiro256** update on lane `i`'s state words (the scalar generator's
